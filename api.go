@@ -1,0 +1,347 @@
+package anonconsensus
+
+import (
+	"fmt"
+	"time"
+
+	"anonconsensus/internal/anonnet"
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/obstruction"
+	"anonconsensus/internal/register"
+	"anonconsensus/internal/sim"
+	"anonconsensus/internal/values"
+	"anonconsensus/internal/weakset"
+)
+
+// Value is a proposal value. Values are totally ordered by ordinary string
+// comparison; consensus breaks ties toward the maximum. Use NumValue for
+// numeric proposals whose string order matches their numeric order.
+type Value string
+
+// NumValue renders a non-negative integer as a Value whose string order
+// equals numeric order.
+func NumValue(i int64) Value { return Value(values.Num(i)) }
+
+// Environment selects the paper's synchrony assumption.
+type Environment int
+
+// Supported environments.
+const (
+	// EnvES is the eventually synchronous environment (Algorithm 2):
+	// after stabilization every process's broadcasts are timely.
+	EnvES Environment = iota + 1
+	// EnvESS is the eventually-stable-source environment (Algorithm 3):
+	// after stabilization only some single process is guaranteed timely;
+	// the algorithm elects pseudo leaders from proposal histories.
+	EnvESS
+)
+
+// String implements fmt.Stringer.
+func (e Environment) String() string {
+	switch e {
+	case EnvES:
+		return "ES"
+	case EnvESS:
+		return "ESS"
+	default:
+		return fmt.Sprintf("Environment(%d)", int(e))
+	}
+}
+
+// Config describes a consensus run.
+type Config struct {
+	// Proposals holds one initial value per process (length = #processes).
+	// Every value must be non-empty.
+	Proposals []Value
+	// Env is the synchrony assumption; defaults to EnvES.
+	Env Environment
+	// GST is the stabilization round (0 = stable from the start).
+	GST int
+	// StableSource is the process that is the eventual source (EnvESS
+	// only). It must not be listed in Crashes.
+	StableSource int
+	// Seed drives the pre-stabilization adversary.
+	Seed int64
+	// Crashes maps process index to the round at which it crashes.
+	Crashes map[int]int
+
+	// Interval is the live round-timer period (Solve only); defaults to
+	// 5ms.
+	Interval time.Duration
+	// Timeout bounds a live run (Solve only); defaults to 30s.
+	Timeout time.Duration
+	// MaxRounds bounds a simulated run (Simulate only); defaults to
+	// 10·n+200.
+	MaxRounds int
+}
+
+func (c *Config) validate() error {
+	if len(c.Proposals) == 0 {
+		return fmt.Errorf("anonconsensus: no proposals")
+	}
+	for i, p := range c.Proposals {
+		if !values.Value(p).Valid() {
+			return fmt.Errorf("anonconsensus: proposal %d is invalid (%q)", i, string(p))
+		}
+	}
+	switch c.Env {
+	case EnvES, EnvESS:
+	case 0:
+	default:
+		return fmt.Errorf("anonconsensus: unknown environment %d", int(c.Env))
+	}
+	if c.Env == EnvESS {
+		if c.StableSource < 0 || c.StableSource >= len(c.Proposals) {
+			return fmt.Errorf("anonconsensus: stable source %d outside [0,%d)", c.StableSource, len(c.Proposals))
+		}
+		if _, crashed := c.Crashes[c.StableSource]; crashed {
+			return fmt.Errorf("anonconsensus: the stable source must stay correct")
+		}
+	}
+	return nil
+}
+
+func (c *Config) env() Environment {
+	if c.Env == 0 {
+		return EnvES
+	}
+	return c.Env
+}
+
+func (c *Config) proposals() []values.Value {
+	out := make([]values.Value, len(c.Proposals))
+	for i, p := range c.Proposals {
+		out[i] = values.Value(p)
+	}
+	return out
+}
+
+func (c *Config) automaton() func(i int) giraf.Automaton {
+	props := c.proposals()
+	if c.env() == EnvESS {
+		return func(i int) giraf.Automaton { return core.NewESS(props[i]) }
+	}
+	return func(i int) giraf.Automaton { return core.NewES(props[i]) }
+}
+
+// Decision is one process's outcome.
+type Decision struct {
+	// Proc is the process index (a runner-level handle; the processes
+	// themselves are anonymous).
+	Proc int
+	// Decided reports whether the process decided (false for crashed or
+	// timed-out processes).
+	Decided bool
+	// Value is the decided value (when Decided).
+	Value Value
+	// Round is the round at which the process decided.
+	Round int
+	// Crashed reports whether the crash schedule stopped the process.
+	Crashed bool
+}
+
+// Result is the outcome of Solve or Simulate.
+type Result struct {
+	Decisions []Decision
+	// Rounds is the number of rounds executed (Simulate) or 0 (Solve).
+	Rounds int
+	// Elapsed is the wall-clock duration (Solve) or 0 (Simulate).
+	Elapsed time.Duration
+}
+
+// Agreed returns the single decided value when every non-crashed process
+// decided it; ok is false if nobody decided or decisions diverge (the
+// latter cannot happen unless the configured environment assumptions were
+// violated).
+func (r *Result) Agreed() (v Value, ok bool) {
+	var found bool
+	for _, d := range r.Decisions {
+		if d.Crashed {
+			continue
+		}
+		if !d.Decided {
+			return "", false
+		}
+		if found && d.Value != v {
+			return "", false
+		}
+		v, found = d.Value, true
+	}
+	return v, found
+}
+
+// Solve runs consensus over a live in-process network (one goroutine per
+// process, channel broadcast, real-time rounds). It returns when every
+// correct process decided or the timeout expired; individual Decisions
+// report who decided what.
+func Solve(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Proposals)
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	var latency anonnet.LatencyModel
+	if cfg.env() == EnvESS {
+		latency = anonnet.ESSProfile{N: n, Interval: interval, Seed: cfg.Seed, GST: cfg.GST, Source: cfg.StableSource}
+	} else {
+		latency = anonnet.ESProfile{N: n, Interval: interval, Seed: cfg.Seed, GST: cfg.GST}
+	}
+	res, err := anonnet.Run(anonnet.Config{
+		N:                n,
+		Automaton:        cfg.automaton(),
+		Interval:         interval,
+		Latency:          latency,
+		Timeout:          timeout,
+		CrashAfterRounds: cfg.Crashes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Elapsed: res.Elapsed}
+	for i, p := range res.Procs {
+		out.Decisions = append(out.Decisions, Decision{
+			Proc:    i,
+			Decided: p.Decided,
+			Value:   Value(p.Decision),
+			Round:   p.DecidedRound,
+			Crashed: p.Crashed,
+		})
+	}
+	return out, nil
+}
+
+// Simulate runs consensus on the deterministic lockstep simulator with a
+// seeded adversarial schedule. Identical configs produce identical runs.
+func Simulate(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var policy sim.Policy
+	if cfg.env() == EnvESS {
+		policy = &sim.ESS{GST: cfg.GST, StableSource: cfg.StableSource, Pre: sim.MS{Seed: cfg.Seed}}
+	} else {
+		policy = &sim.ES{GST: cfg.GST, Pre: sim.MS{Seed: cfg.Seed}}
+	}
+	opts := core.RunOpts{Policy: policy, Crashes: cfg.Crashes, MaxRounds: cfg.MaxRounds}
+	var (
+		res *sim.Result
+		err error
+	)
+	if cfg.env() == EnvESS {
+		res, err = core.RunESS(cfg.proposals(), opts)
+	} else {
+		res, err = core.RunES(cfg.proposals(), opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Rounds: res.Rounds}
+	for i, st := range res.Statuses {
+		out.Decisions = append(out.Decisions, Decision{
+			Proc:    i,
+			Decided: st.Decided,
+			Value:   Value(st.Decision),
+			Round:   st.DecidedAt,
+			Crashed: st.Crashed,
+		})
+	}
+	return out, nil
+}
+
+// WeakSet is the anonymous shared-set data structure of §5: adds are
+// visible to every get that starts after the add returned; no identities,
+// no lost updates. Safe for concurrent use.
+type WeakSet struct {
+	inner weakset.Memory
+}
+
+// NewWeakSet returns an empty weak-set.
+func NewWeakSet() *WeakSet { return &WeakSet{} }
+
+// Add inserts v. It returns an error only for invalid values.
+func (s *WeakSet) Add(v Value) error {
+	if !values.Value(v).Valid() {
+		return fmt.Errorf("anonconsensus: invalid value %q", string(v))
+	}
+	return s.inner.Add(values.Value(v))
+}
+
+// Get returns a snapshot of the set's contents, sorted ascending.
+func (s *WeakSet) Get() ([]Value, error) {
+	set, err := s.inner.Get()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, 0, set.Len())
+	for _, v := range set.Sorted() {
+		out = append(out, Value(v))
+	}
+	return out, nil
+}
+
+// OFConsensus is anonymous obstruction-free consensus from shared memory
+// (the construction the paper cites as Guerraoui & Ruppert [9], built here
+// from adopt-commit objects over linearizable weak-sets). Safety —
+// Agreement and Validity — is unconditional; a Propose call terminates
+// when it finds an uncontended round, so callers under contention should
+// retry with backoff. Safe for concurrent use.
+type OFConsensus struct {
+	inner *obstruction.Consensus
+}
+
+// NewOFConsensus returns a fresh instance.
+func NewOFConsensus() *OFConsensus {
+	return &OFConsensus{inner: obstruction.NewConsensus()}
+}
+
+// Propose offers v and runs up to maxRounds adopt-commit rounds. ok is
+// false when every round stayed contended — retry (possibly after a
+// backoff); the instance remains usable and safe.
+func (c *OFConsensus) Propose(v Value, maxRounds int) (decided Value, ok bool, err error) {
+	got, ok, err := c.inner.Propose(values.Value(v), maxRounds)
+	return Value(got), ok, err
+}
+
+// Decided reports whether some proposer already decided, and the value.
+func (c *OFConsensus) Decided() (Value, bool) {
+	v, ok := c.inner.Decided()
+	return Value(v), ok
+}
+
+// Register is a regular multi-writer multi-reader register built from a
+// weak-set (Proposition 1). Safe for concurrent use; reads concurrent with
+// writes may disagree, quiescent reads agree.
+type Register struct {
+	inner *register.FromWeakSet
+}
+
+// NewRegister returns an unwritten register backed by a fresh weak-set.
+func NewRegister() *Register {
+	var ws weakset.Memory
+	return &Register{inner: register.NewFromWeakSet(&ws)}
+}
+
+// Write stores v.
+func (r *Register) Write(v Value) error {
+	if !values.Value(v).Valid() {
+		return fmt.Errorf("anonconsensus: invalid value %q", string(v))
+	}
+	return r.inner.Write(values.Value(v))
+}
+
+// Read returns the register's value; ok is false if never written.
+func (r *Register) Read() (v Value, ok bool, err error) {
+	raw, err := r.inner.Read()
+	if err != nil {
+		return "", false, err
+	}
+	return Value(raw), raw != "", nil
+}

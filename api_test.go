@@ -1,0 +1,239 @@
+package anonconsensus
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulateES(t *testing.T) {
+	res, err := Simulate(Config{
+		Proposals: []Value{NumValue(1), NumValue(2), NumValue(3)},
+		Env:       EnvES,
+		GST:       6,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Agreed()
+	if !ok {
+		t.Fatalf("no agreement: %+v", res.Decisions)
+	}
+	if v != NumValue(1) && v != NumValue(2) && v != NumValue(3) {
+		t.Errorf("decided non-proposal %q", v)
+	}
+}
+
+func TestSimulateESS(t *testing.T) {
+	res, err := Simulate(Config{
+		Proposals:    []Value{NumValue(5), NumValue(6), NumValue(7), NumValue(8)},
+		Env:          EnvESS,
+		GST:          8,
+		StableSource: 2,
+		Seed:         3,
+		MaxRounds:    600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Agreed(); !ok {
+		t.Fatalf("no agreement: %+v", res.Decisions)
+	}
+}
+
+func TestSimulateWithCrashes(t *testing.T) {
+	res, err := Simulate(Config{
+		Proposals: []Value{NumValue(1), NumValue(2), NumValue(3), NumValue(4)},
+		Env:       EnvES,
+		GST:       8,
+		Crashes:   map[int]int{0: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decisions[0].Crashed {
+		t.Error("process 0 should be crashed")
+	}
+	if _, ok := res.Agreed(); !ok {
+		t.Fatal("survivors must agree")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := Config{
+		Proposals: []Value{NumValue(1), NumValue(2), NumValue(3)},
+		Env:       EnvES,
+		GST:       10,
+		Seed:      42,
+	}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] {
+			t.Fatalf("nondeterministic: %+v vs %+v", a.Decisions[i], b.Decisions[i])
+		}
+	}
+}
+
+func TestSolveLiveES(t *testing.T) {
+	res, err := Solve(Config{
+		Proposals: []Value{NumValue(10), NumValue(20), NumValue(30)},
+		Env:       EnvES,
+		GST:       4,
+		Interval:  5 * time.Millisecond,
+		Timeout:   15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Agreed(); !ok {
+		t.Fatalf("live run did not agree: %+v", res.Decisions)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no proposals", Config{}},
+		{"empty proposal", Config{Proposals: []Value{""}}},
+		{"bad env", Config{Proposals: []Value{"a"}, Env: Environment(9)}},
+		{"bad source", Config{Proposals: []Value{"a"}, Env: EnvESS, StableSource: 5}},
+		{"crashed source", Config{
+			Proposals: []Value{"a", "b"}, Env: EnvESS, StableSource: 0,
+			Crashes: map[int]int{0: 1},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Simulate(tt.cfg); err == nil {
+				t.Error("invalid config accepted by Simulate")
+			}
+			if _, err := Solve(tt.cfg); err == nil {
+				t.Error("invalid config accepted by Solve")
+			}
+		})
+	}
+}
+
+func TestEnvironmentString(t *testing.T) {
+	if EnvES.String() != "ES" || EnvESS.String() != "ESS" {
+		t.Error("environment names wrong")
+	}
+	if Environment(9).String() == "" {
+		t.Error("unknown environment must still render")
+	}
+}
+
+func TestWeakSetAPI(t *testing.T) {
+	s := NewWeakSet()
+	if err := s.Add("banana"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(""); err == nil {
+		t.Error("empty value accepted")
+	}
+	got, err := s.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "apple" || got[1] != "banana" {
+		t.Errorf("Get = %v", got)
+	}
+}
+
+func TestRegisterAPI(t *testing.T) {
+	r := NewRegister()
+	if _, ok, _ := r.Read(); ok {
+		t.Error("unwritten register reports ok")
+	}
+	if err := r.Write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(""); err == nil {
+		t.Error("empty write accepted")
+	}
+	v, ok, err := r.Read()
+	if err != nil || !ok || v != "v1" {
+		t.Errorf("Read = %q,%v,%v", v, ok, err)
+	}
+}
+
+func TestAgreedEdgeCases(t *testing.T) {
+	r := &Result{Decisions: []Decision{{Proc: 0, Decided: false}}}
+	if _, ok := r.Agreed(); ok {
+		t.Error("undecided process must block agreement")
+	}
+	r = &Result{Decisions: []Decision{
+		{Proc: 0, Decided: true, Value: "a"},
+		{Proc: 1, Decided: true, Value: "b"},
+	}}
+	if _, ok := r.Agreed(); ok {
+		t.Error("divergent decisions must not agree")
+	}
+	r = &Result{Decisions: []Decision{
+		{Proc: 0, Crashed: true},
+		{Proc: 1, Decided: true, Value: "a"},
+	}}
+	if v, ok := r.Agreed(); !ok || v != "a" {
+		t.Error("crashed processes must not block agreement")
+	}
+}
+
+func TestOFConsensusAPI(t *testing.T) {
+	c := NewOFConsensus()
+	if _, ok := c.Decided(); ok {
+		t.Error("fresh instance reports decided")
+	}
+	v, ok, err := c.Propose("alpha", 10)
+	if err != nil || !ok || v != "alpha" {
+		t.Fatalf("solo propose = %q,%v,%v", v, ok, err)
+	}
+	// A later conflicting proposer must land on the decided value.
+	w, ok, err := c.Propose("beta", 10)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if w != "alpha" {
+		t.Errorf("second proposer decided %q, want alpha", w)
+	}
+	if got, ok := c.Decided(); !ok || got != "alpha" {
+		t.Errorf("Decided = %q,%v", got, ok)
+	}
+	if _, _, err := c.Propose("", 10); err == nil {
+		t.Error("empty proposal accepted")
+	}
+	if _, _, err := c.Propose("x", 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestSolveLiveESS(t *testing.T) {
+	res, err := Solve(Config{
+		Proposals:    []Value{NumValue(1), NumValue(2), NumValue(3)},
+		Env:          EnvESS,
+		GST:          4,
+		StableSource: 1,
+		Interval:     5 * time.Millisecond,
+		Timeout:      30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Agreed(); !ok {
+		t.Fatalf("live ESS run did not agree: %+v", res.Decisions)
+	}
+}

@@ -1,0 +1,215 @@
+package anonconsensus_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"anonconsensus"
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/expt"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/msemu"
+	"anonconsensus/internal/register"
+	"anonconsensus/internal/sim"
+	"anonconsensus/internal/values"
+	"anonconsensus/internal/weakset"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per experiment table/figure (T1–T10, F1–F3). Each runs the
+// exact harness entry point cmd/anonsim uses, in quick mode, so `go test
+// -bench .` regenerates every result end to end.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := expt.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1ESDecision(b *testing.B)          { benchExperiment(b, "T1") }
+func BenchmarkT2ESLateGST(b *testing.B)           { benchExperiment(b, "T2") }
+func BenchmarkT3ESSDecision(b *testing.B)         { benchExperiment(b, "T3") }
+func BenchmarkT4LeaderConvergence(b *testing.B)   { benchExperiment(b, "T4") }
+func BenchmarkT5Crashes(b *testing.B)             { benchExperiment(b, "T5") }
+func BenchmarkT6MessageComplexity(b *testing.B)   { benchExperiment(b, "T6") }
+func BenchmarkT7WeakSetMS(b *testing.B)           { benchExperiment(b, "T7") }
+func BenchmarkT8Registers(b *testing.B)           { benchExperiment(b, "T8") }
+func BenchmarkT9MSEmulation(b *testing.B)         { benchExperiment(b, "T9") }
+func BenchmarkT10Sigma(b *testing.B)              { benchExperiment(b, "T10") }
+func BenchmarkF1LatencyDistribution(b *testing.B) { benchExperiment(b, "F1") }
+func BenchmarkF2LeaderTimeline(b *testing.B)      { benchExperiment(b, "F2") }
+func BenchmarkF3MSNoConsensus(b *testing.B)       { benchExperiment(b, "F3") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the primitives the tables are built from.
+
+func BenchmarkESConsensusRound(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			props := core.DistinctProposals(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunES(props, core.RunOpts{Policy: sim.Synchronous{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllCorrectDecided() {
+					b.Fatal("undecided")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkESSConsensusRound(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			props := core.DistinctProposals(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunESS(props, core.RunOpts{
+					Policy:    &sim.ESS{GST: 6, StableSource: 0, Pre: sim.MS{Seed: int64(i)}},
+					MaxRounds: 400,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllCorrectDecided() {
+					b.Fatal("undecided")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWeakSetAddLatency(b *testing.B) {
+	ops := []weakset.ScheduledOp{{Proc: 0, Round: 1, Kind: weakset.OpAdd, Value: values.Num(1)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := weakset.RunMS(5, ops, &sim.MS{Seed: int64(i), MaxDelay: 3}, 60, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.CompletedAdds()) != 1 {
+			b.Fatal("add incomplete")
+		}
+	}
+}
+
+func BenchmarkABDWrite(b *testing.B) {
+	for _, n := range []int{3, 5, 9} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			cluster := register.NewABD(n)
+			defer cluster.Close()
+			w := cluster.Writer(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Write(values.Num(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkABDRead(b *testing.B) {
+	cluster := register.NewABD(5)
+	defer cluster.Close()
+	if err := cluster.Write(values.Num(1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegisterFromWeakSet(b *testing.B) {
+	var ws weakset.Memory
+	reg := register.NewFromWeakSet(&ws)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Write(values.Num(int64(i % 1000))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMSEmulationRound(b *testing.B) {
+	props := core.DistinctProposals(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := msemu.Run(msemu.Config{
+			N:         4,
+			Automaton: func(j int) giraf.Automaton { return core.NewES(props[j]) },
+			Codec:     msemu.SetCodec{},
+			Set:       &weakset.Memory{},
+			MaxRounds: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Errs) > 0 {
+			b.Fatal(res.Errs)
+		}
+	}
+}
+
+func BenchmarkLiveSolve(b *testing.B) {
+	// Real-time rounds: the interval must leave generous headroom for
+	// scheduler noise under benchmark load, or "timely" sleeps overshoot
+	// and the ES guarantee silently degrades.
+	props := []anonconsensus.Value{
+		anonconsensus.NumValue(1), anonconsensus.NumValue(2), anonconsensus.NumValue(3),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := anonconsensus.Solve(anonconsensus.Config{
+			Proposals: props,
+			Env:       anonconsensus.EnvES,
+			GST:       2,
+			Interval:  10 * time.Millisecond,
+			Timeout:   60 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := res.Agreed(); !ok {
+			b.Fatal("no agreement")
+		}
+	}
+}
+
+func BenchmarkHistoryCounters(b *testing.B) {
+	// The pseudo-leader data structure on a deep history (the ESS hot path).
+	h := values.NewHistory(values.Num(1))
+	for i := 0; i < 64; i++ {
+		h = h.Append(values.Num(int64(i % 3)))
+	}
+	c := values.NewCounters()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Bump(h)
+		if !c.IsMaximal(h) {
+			b.Fatal("bumped history must be maximal")
+		}
+	}
+}

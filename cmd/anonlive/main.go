@@ -1,0 +1,114 @@
+// Command anonlive runs anonymous consensus over a live in-process network
+// (one goroutine per process, channel broadcast with per-link latencies)
+// and narrates the outcome.
+//
+// Usage:
+//
+//	anonlive -n 5 -env ess -gst 6 -source 2 -interval 5ms
+//	anonlive -n 8 -env es -crash 0:2 -crash 3:5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"anonconsensus"
+)
+
+// crashFlags collects repeated -crash pid:round flags.
+type crashFlags map[int]int
+
+func (c crashFlags) String() string { return fmt.Sprint(map[int]int(c)) }
+
+func (c crashFlags) Set(s string) error {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want pid:round, got %q", s)
+	}
+	pid, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad pid in %q: %w", s, err)
+	}
+	round, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad round in %q: %w", s, err)
+	}
+	c[pid] = round
+	return nil
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 5, "number of anonymous processes")
+		env      = flag.String("env", "es", "environment: es or ess")
+		gst      = flag.Int("gst", 6, "stabilization round")
+		source   = flag.Int("source", 0, "eventual stable source (ess only)")
+		seed     = flag.Int64("seed", 1, "adversary seed")
+		interval = flag.Duration("interval", 5*time.Millisecond, "round timer period")
+		timeout  = flag.Duration("timeout", 30*time.Second, "run timeout")
+		crashes  = crashFlags{}
+	)
+	flag.Var(crashes, "crash", "crash schedule pid:round (repeatable)")
+	flag.Parse()
+
+	if err := run(*n, *env, *gst, *source, *seed, *interval, *timeout, crashes); err != nil {
+		fmt.Fprintln(os.Stderr, "anonlive:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, envName string, gst, source int, seed int64, interval, timeout time.Duration, crashes crashFlags) error {
+	var env anonconsensus.Environment
+	switch strings.ToLower(envName) {
+	case "es":
+		env = anonconsensus.EnvES
+	case "ess":
+		env = anonconsensus.EnvESS
+	default:
+		return fmt.Errorf("unknown environment %q (want es or ess)", envName)
+	}
+
+	proposals := make([]anonconsensus.Value, n)
+	for i := range proposals {
+		proposals[i] = anonconsensus.NumValue(int64(100 + i))
+	}
+	fmt.Printf("starting %d anonymous processes in %s (GST=%d, seed=%d, interval=%s)\n",
+		n, env, gst, seed, interval)
+	for pid, r := range crashes {
+		fmt.Printf("  process %d will crash after round %d\n", pid, r)
+	}
+
+	res, err := anonconsensus.Solve(anonconsensus.Config{
+		Proposals:    proposals,
+		Env:          env,
+		GST:          gst,
+		StableSource: source,
+		Seed:         seed,
+		Crashes:      crashes,
+		Interval:     interval,
+		Timeout:      timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, d := range res.Decisions {
+		switch {
+		case d.Crashed:
+			fmt.Printf("  p%-2d crashed\n", d.Proc)
+		case d.Decided:
+			fmt.Printf("  p%-2d decided %s in round %d\n", d.Proc, d.Value, d.Round)
+		default:
+			fmt.Printf("  p%-2d undecided at timeout\n", d.Proc)
+		}
+	}
+	if v, ok := res.Agreed(); ok {
+		fmt.Printf("consensus on %s in %s\n", v, res.Elapsed.Round(time.Millisecond))
+		return nil
+	}
+	return fmt.Errorf("no consensus within %s", timeout)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCrashFlagsParsing(t *testing.T) {
+	c := crashFlags{}
+	if err := c.Set("3:7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("0:2"); err != nil {
+		t.Fatal(err)
+	}
+	if c[3] != 7 || c[0] != 2 {
+		t.Errorf("parsed = %v", c)
+	}
+	for _, bad := range []string{"", "3", "x:1", "1:y", ":"} {
+		if err := c.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if c.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestRunRejectsUnknownEnv(t *testing.T) {
+	if err := run(3, "banana", 2, 0, 1, time.Millisecond, time.Second, crashFlags{}); err == nil {
+		t.Error("unknown environment accepted")
+	}
+}
+
+func TestRunLiveEndToEnd(t *testing.T) {
+	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, crashFlags{}); err != nil {
+		t.Errorf("es run failed: %v", err)
+	}
+}
+
+func TestRunLiveESSWithCrash(t *testing.T) {
+	if err := run(4, "ess", 3, 2, 1, 4*time.Millisecond, 30*time.Second, crashFlags{0: 2}); err != nil {
+		t.Errorf("ess run failed: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+// Command anonnode runs anonymous consensus over real TCP: one invocation
+// serves as the broadcast hub, the others as anonymous nodes. Nodes never
+// exchange identities — frames carry no sender information — and the hub
+// relays without annotating origin.
+//
+// Terminal 1 (hub):
+//
+//	anonnode -hub -listen 127.0.0.1:7777
+//
+// Terminals 2..n (one per process):
+//
+//	anonnode -connect 127.0.0.1:7777 -propose 41 -env es
+//	anonnode -connect 127.0.0.1:7777 -propose 17 -env es
+//
+// Every node prints the agreed value and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/tcpnet"
+	"anonconsensus/internal/values"
+)
+
+func main() {
+	var (
+		hub      = flag.Bool("hub", false, "run the broadcast hub")
+		listen   = flag.String("listen", "127.0.0.1:7777", "hub listen address")
+		connect  = flag.String("connect", "", "hub address to join as a node")
+		propose  = flag.Int64("propose", -1, "value to propose (node mode)")
+		env      = flag.String("env", "es", "algorithm: es (Algorithm 2) or ess (Algorithm 3)")
+		interval = flag.Duration("interval", 50*time.Millisecond, "round timer period")
+		timeout  = flag.Duration("timeout", 60*time.Second, "node run timeout")
+	)
+	flag.Parse()
+
+	if err := run(*hub, *listen, *connect, *propose, *env, *interval, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "anonnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(hub bool, listen, connect string, propose int64, env string, interval, timeout time.Duration) error {
+	switch {
+	case hub:
+		return runHub(listen)
+	case connect != "":
+		return runNode(connect, propose, env, interval, timeout)
+	default:
+		flag.Usage()
+		return fmt.Errorf("pass -hub to relay or -connect to join")
+	}
+}
+
+func runHub(listen string) error {
+	h, err := tcpnet.NewHub(listen)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	fmt.Printf("hub relaying anonymous broadcasts on %s (ctrl-c to stop)\n", h.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("hub stopping")
+	return nil
+}
+
+func runNode(addr string, propose int64, env string, interval, timeout time.Duration) error {
+	if propose < 0 {
+		return fmt.Errorf("node mode needs -propose <non-negative value>")
+	}
+	v := values.Num(propose)
+	var aut giraf.Automaton
+	switch strings.ToLower(env) {
+	case "es":
+		aut = core.NewES(v)
+	case "ess":
+		aut = core.NewESS(v)
+	default:
+		return fmt.Errorf("unknown algorithm %q (want es or ess)", env)
+	}
+	fmt.Printf("joining %s anonymously, proposing %s (%s, round interval %s)\n",
+		addr, v, strings.ToUpper(env), interval)
+	res, err := tcpnet.RunNode(context.Background(), tcpnet.NodeConfig{
+		HubAddr:   addr,
+		Automaton: aut,
+		Interval:  interval,
+		Timeout:   timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Decided {
+		return fmt.Errorf("undecided after %d rounds (timeout %s) — are enough peers connected?", res.Rounds, timeout)
+	}
+	fmt.Printf("decided %s in round %d\n", res.Decision, res.Round)
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command anonsim regenerates the reproduction experiments (EXPERIMENTS.md
+// tables T1–T10 and figures F1–F3) from scratch.
+//
+// Usage:
+//
+//	anonsim -list            list experiments
+//	anonsim -exp T3          run one experiment
+//	anonsim -all             run the whole suite
+//	anonsim -all -quick      shrunken grids (seconds instead of minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"anonconsensus/internal/expt"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		expID = flag.String("exp", "", "run a single experiment (T1..T10, F1..F3)")
+		all   = flag.Bool("all", false, "run the whole suite")
+		quick = flag.Bool("quick", false, "shrink parameter grids for a fast pass")
+	)
+	flag.Parse()
+
+	if err := run(*list, *expID, *all, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "anonsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, expID string, all, quick bool) error {
+	switch {
+	case list:
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case expID != "":
+		e, ok := expt.ByID(expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", expID)
+		}
+		return runOne(e, quick)
+	case all:
+		for _, e := range expt.All() {
+			if err := runOne(e, quick); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -exp or -all")
+	}
+}
+
+func runOne(e expt.Experiment, quick bool) error {
+	fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+	start := time.Now()
+	if err := e.Run(os.Stdout, quick); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run(true, "", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleQuick(t *testing.T) {
+	if err := run(false, "T10", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(false, "T99", false, true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	if err := run(false, "", false, false); err == nil {
+		t.Error("empty invocation must error")
+	}
+}

@@ -1,0 +1,28 @@
+// Package anonconsensus is a Go implementation of "Fault-Tolerant
+// Consensus in Unknown and Anonymous Networks" (Delporte-Gallet,
+// Fauconnier, Tielmann; ICDCS 2009): crash-tolerant consensus, shared
+// weak-sets and register emulations for networks where processes have no
+// identities and do not know how many peers exist.
+//
+// The package offers three entry points:
+//
+//   - Solve runs consensus over a live in-process network: one goroutine
+//     per anonymous process, channel broadcast with configurable link
+//     latencies realizing the paper's ES (eventually synchronous) and ESS
+//     (eventually stable source) environments.
+//
+//   - Simulate runs the same algorithms on the deterministic lockstep
+//     simulator with seeded adversarial schedules, crash injection and
+//     machine-checked environment properties — the engine behind the
+//     reproduction experiments (see EXPERIMENTS.md).
+//
+//   - NewWeakSet / NewRegister expose the paper's shared-memory side: the
+//     weak-set data structure (§5) and the regular register built from it
+//     (Proposition 1).
+//
+// The algorithm internals live under internal/: see internal/core for
+// Algorithms 2 and 3 (including the pseudo leader election), internal/sim
+// for the environment model, internal/weakset, internal/register,
+// internal/msemu and internal/fd for the substrate results, and DESIGN.md
+// for the full inventory.
+package anonconsensus

@@ -1,0 +1,85 @@
+// Config agreement: a deterministic what-if analysis. A fleet of anonymous
+// workers must converge on a configuration epoch; before rolling it out,
+// an operator wants to know how long convergence takes as the network
+// stabilizes later and more workers crash — reproducibly.
+//
+// This example uses Simulate (the deterministic lockstep simulator) rather
+// than the live runtime: identical inputs give identical runs, so the
+// printed matrix is stable across machines and suitable for CI assertions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anonconsensus"
+)
+
+func main() {
+	epochs := []anonconsensus.Value{
+		anonconsensus.NumValue(300),
+		anonconsensus.NumValue(301),
+		anonconsensus.NumValue(302),
+		anonconsensus.NumValue(303),
+		anonconsensus.NumValue(304),
+		anonconsensus.NumValue(305),
+	}
+
+	fmt.Println("rounds until every surviving worker adopts the same epoch")
+	fmt.Println()
+	fmt.Printf("%-8s", "GST\\f")
+	for _, crashes := range []int{0, 1, 2, 3} {
+		fmt.Printf("%8d", crashes)
+	}
+	fmt.Println()
+
+	for _, gst := range []int{0, 5, 10, 20} {
+		fmt.Printf("%-8d", gst)
+		for _, crashes := range []int{0, 1, 2, 3} {
+			crashMap := make(map[int]int)
+			for i := 0; i < crashes; i++ {
+				crashMap[i] = 2 + 3*i // staggered failures
+			}
+			res, err := anonconsensus.Simulate(anonconsensus.Config{
+				Proposals: epochs,
+				Env:       anonconsensus.EnvES,
+				GST:       gst,
+				Seed:      99,
+				Crashes:   crashMap,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, ok := res.Agreed(); !ok {
+				log.Fatalf("no agreement at gst=%d crashes=%d", gst, crashes)
+			}
+			last := 0
+			for _, d := range res.Decisions {
+				if d.Decided && d.Round > last {
+					last = d.Round
+				}
+			}
+			fmt.Printf("%8d", last)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	v := mustAgree(epochs)
+	fmt.Printf("every cell used the same decision rule; e.g. the gst=0,f=0 fleet adopted epoch %s\n", v)
+}
+
+func mustAgree(epochs []anonconsensus.Value) anonconsensus.Value {
+	res, err := anonconsensus.Simulate(anonconsensus.Config{
+		Proposals: epochs,
+		Env:       anonconsensus.EnvES,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, ok := res.Agreed()
+	if !ok {
+		log.Fatal("baseline run did not agree")
+	}
+	return v
+}

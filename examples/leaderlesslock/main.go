@@ -1,0 +1,83 @@
+// Leaderless lock owner election: obstruction-free consensus from shared
+// memory, no synchrony assumptions at all. A set of identical worker
+// goroutines races to elect the epoch's lock owner token; under contention
+// proposals may need retries (obstruction-freedom), but whatever is decided
+// is decided once and forever — Agreement and Validity are unconditional.
+//
+// This is the related-work construction the paper cites as [9] (anonymous
+// fault-tolerant shared-memory consensus), assembled from the library's
+// adopt-commit-over-weak-set objects.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"anonconsensus"
+)
+
+func main() {
+	c := anonconsensus.NewOFConsensus()
+
+	const workers = 6
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results = make(map[int]anonconsensus.Value)
+	)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			token := anonconsensus.Value(fmt.Sprintf("worker-token-%02d", w))
+			rng := rand.New(rand.NewSource(int64(w)))
+			for attempt := 1; ; attempt++ {
+				// Fast path: somebody already won.
+				if v, ok := c.Decided(); ok {
+					mu.Lock()
+					results[w] = v
+					mu.Unlock()
+					return
+				}
+				v, ok, err := c.Propose(token, 8)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if ok {
+					mu.Lock()
+					results[w] = v
+					mu.Unlock()
+					return
+				}
+				// Contended: randomized backoff opens a solo window for
+				// somebody (the obstruction-freedom bargain).
+				time.Sleep(time.Duration(rng.Intn(1<<uint(min(attempt, 10)))) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var winner anonconsensus.Value
+	for w := 0; w < workers; w++ {
+		v := results[w]
+		if winner == "" {
+			winner = v
+		}
+		if v != winner {
+			log.Fatalf("agreement violated: worker %d has %s, expected %s", w, v, winner)
+		}
+	}
+	fmt.Printf("all %d workers agree: lock owner token = %s\n", workers, winner)
+	fmt.Println("(no leader, no IDs exchanged, no timing assumptions — just registers)")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

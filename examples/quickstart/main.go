@@ -1,0 +1,44 @@
+// Quickstart: five anonymous processes — no IDs, unknown network size —
+// agree on one of their proposed values over a live goroutine network that
+// becomes synchronous after a chaotic start (the ES environment,
+// Algorithm 2 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anonconsensus"
+)
+
+func main() {
+	res, err := anonconsensus.Solve(anonconsensus.Config{
+		// One proposal per process. The processes never learn which index
+		// they are — indexes exist only so the runner can report outcomes.
+		Proposals: []anonconsensus.Value{
+			anonconsensus.NumValue(11),
+			anonconsensus.NumValue(47),
+			anonconsensus.NumValue(23),
+			anonconsensus.NumValue(8),
+			anonconsensus.NumValue(35),
+		},
+		Env:      anonconsensus.EnvES,
+		GST:      5, // network stabilizes after round 5
+		Seed:     7, // pre-stabilization chaos
+		Interval: 5 * time.Millisecond,
+		Timeout:  30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, d := range res.Decisions {
+		fmt.Printf("process %d decided %s in round %d\n", d.Proc, d.Value, d.Round)
+	}
+	v, ok := res.Agreed()
+	if !ok {
+		log.Fatal("no agreement — the ES assumptions were not met")
+	}
+	fmt.Printf("\nconsensus: %s (in %s)\n", v, res.Elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,66 @@
+// Sensor fusion: the paper's motivating scenario. A field of identical,
+// ID-less wireless sensors measures a temperature; some die mid-run; the
+// survivors must agree on a single reading to report upstream.
+//
+// Radio conditions give only the weakest usable guarantee: most links are
+// lossy-slow, but one sensor — whichever currently has the best channel —
+// reaches everyone; eventually the mast-mounted sensor (index 3 here, but
+// no sensor knows that) stays the best forever. That is exactly the ESS
+// environment, so Algorithm 3's pseudo leader election applies: sensors
+// elect leaders by comparing proposal histories, never learning names.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anonconsensus"
+)
+
+func main() {
+	// Nine sensors, readings in deci-degrees. Duplicates are realistic:
+	// anonymous processes with equal state are literally indistinguishable
+	// and the algorithm must (and does) cope.
+	readings := []int64{217, 221, 219, 222, 217, 220, 221, 219, 218}
+	proposals := make([]anonconsensus.Value, len(readings))
+	for i, r := range readings {
+		proposals[i] = anonconsensus.NumValue(r)
+	}
+
+	res, err := anonconsensus.Solve(anonconsensus.Config{
+		Proposals:    proposals,
+		Env:          anonconsensus.EnvESS,
+		GST:          8, // radio settles after round 8
+		StableSource: 3, // the mast sensor: best channel forever after
+		Seed:         42,
+		Crashes: map[int]int{
+			1: 2, // battery death almost immediately
+			6: 3, // another one a round later
+		},
+		Interval: 5 * time.Millisecond,
+		Timeout:  60 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alive := 0
+	for _, d := range res.Decisions {
+		switch {
+		case d.Crashed:
+			fmt.Printf("sensor %d: died\n", d.Proc)
+		case d.Decided:
+			alive++
+			fmt.Printf("sensor %d: agreed on %s (round %d)\n", d.Proc, d.Value, d.Round)
+		default:
+			fmt.Printf("sensor %d: undecided\n", d.Proc)
+		}
+	}
+	v, ok := res.Agreed()
+	if !ok {
+		log.Fatal("the field did not converge")
+	}
+	fmt.Printf("\nfield report: %s deci-degrees, agreed by %d surviving sensors in %s\n",
+		v, alive, res.Elapsed.Round(time.Millisecond))
+}

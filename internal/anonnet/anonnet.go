@@ -1,0 +1,234 @@
+// Package anonnet is the real-time runtime: anonymous processes as
+// goroutines, broadcast as channel fan-out with per-link latencies, and
+// GIRAF rounds driven by local timers instead of a lockstep scheduler.
+// Rounds therefore drift apart across processes — the part of the model the
+// deterministic simulator (package sim) does not exercise.
+//
+// A link is timely in round k when the envelope arrives before the
+// receiver's round-k timer fires; latency profiles realize the paper's
+// environments by keeping the source's links fast (a fraction of the round
+// interval) and everyone else's slow or jittery.
+package anonnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+// LatencyModel assigns each (round, sender, receiver) link a delay.
+// Implementations must be safe for concurrent use; the provided profiles
+// are stateless hash-based so they need no locks.
+type LatencyModel interface {
+	Delay(round, from, to int) time.Duration
+}
+
+// Config describes a live run.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Automaton builds process i's automaton.
+	Automaton func(i int) giraf.Automaton
+	// Interval is the local round-timer period. Keep it ≥ 2ms so timely
+	// links are reliably timely under scheduler noise.
+	Interval time.Duration
+	// Latency is the link latency profile.
+	Latency LatencyModel
+	// Timeout bounds the whole run.
+	Timeout time.Duration
+	// CrashAfterRounds stops process i after it executed that many
+	// end-of-rounds (simulated crash). Zero/absent means never.
+	CrashAfterRounds map[int]int
+	// OnRound, if non-nil, runs in process i's own goroutine immediately
+	// before each end-of-round, with the automaton it is about to step.
+	// Drivers use it to inject operations (e.g. weak-set adds) or sample
+	// state without racing the automaton.
+	OnRound func(proc, round int, aut giraf.Automaton)
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("anonnet: N = %d", c.N)
+	case c.Automaton == nil:
+		return fmt.Errorf("anonnet: Automaton factory is nil")
+	case c.Interval <= 0:
+		return fmt.Errorf("anonnet: Interval = %v", c.Interval)
+	case c.Latency == nil:
+		return fmt.Errorf("anonnet: Latency model is nil")
+	case c.Timeout <= 0:
+		return fmt.Errorf("anonnet: Timeout = %v", c.Timeout)
+	}
+	return nil
+}
+
+// ProcResult is one process's outcome.
+type ProcResult struct {
+	Decided  bool
+	Decision values.Value
+	// DecidedRound is the round the process computed when deciding.
+	DecidedRound int
+	// Rounds is the number of end-of-rounds the process executed.
+	Rounds int
+	// Crashed reports whether the crash schedule stopped it.
+	Crashed bool
+}
+
+// Result is the outcome of a live run.
+type Result struct {
+	Procs   []ProcResult
+	Elapsed time.Duration
+}
+
+// AllCorrectDecided reports whether every non-crashed process decided.
+func (r *Result) AllCorrectDecided() bool {
+	for _, p := range r.Procs {
+		if !p.Crashed && !p.Decided {
+			return false
+		}
+	}
+	return true
+}
+
+// Decisions returns the set of decided values.
+func (r *Result) Decisions() values.Set {
+	out := values.NewSet()
+	for _, p := range r.Procs {
+		if p.Decided {
+			out.Add(p.Decision)
+		}
+	}
+	return out
+}
+
+// network carries the shared state of one run.
+type network struct {
+	cfg  Config
+	in   []chan giraf.Envelope
+	ctx  context.Context
+	wg   sync.WaitGroup // delivery goroutines
+	done chan int       // process indexes that finished (decided/crashed/cancelled)
+}
+
+// Run executes the live network until every process decided, crashed, or
+// the timeout expired.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+
+	nw := &network{
+		cfg:  cfg,
+		in:   make([]chan giraf.Envelope, cfg.N),
+		ctx:  ctx,
+		done: make(chan int, cfg.N),
+	}
+	for i := range nw.in {
+		// Generous buffering: a halted process stops reading and late
+		// deliveries must not block senders.
+		nw.in[i] = make(chan giraf.Envelope, 4096)
+	}
+
+	start := time.Now()
+	results := make([]ProcResult, cfg.N)
+	var procWG sync.WaitGroup
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		procWG.Add(1)
+		go func() {
+			defer procWG.Done()
+			results[i] = nw.runProcess(i)
+			nw.done <- i
+		}()
+	}
+
+	// Cancel as soon as every process reported (decided or crashed); the
+	// context timeout is the fallback for undecided runs.
+	finished := 0
+	for finished < cfg.N {
+		select {
+		case <-nw.done:
+			finished++
+		case <-ctx.Done():
+			finished = cfg.N
+		}
+	}
+	cancel()
+	procWG.Wait()
+	nw.wg.Wait()
+	return &Result{Procs: results, Elapsed: time.Since(start)}, nil
+}
+
+// runProcess is one process's event loop.
+func (nw *network) runProcess(id int) ProcResult {
+	aut := nw.cfg.Automaton(id)
+	proc := giraf.NewProc(aut)
+	crashAfter := nw.cfg.CrashAfterRounds[id]
+	ticker := time.NewTicker(nw.cfg.Interval)
+	defer ticker.Stop()
+
+	var res ProcResult
+	for {
+		select {
+		case <-nw.ctx.Done():
+			res.Rounds = proc.CurrentRound()
+			return res
+		case env := <-nw.in[id]:
+			proc.Receive(env)
+		case <-ticker.C:
+			if crashAfter > 0 && proc.CurrentRound() >= crashAfter {
+				res.Crashed = true
+				res.Rounds = proc.CurrentRound()
+				return res
+			}
+			computing := proc.CurrentRound()
+			if nw.cfg.OnRound != nil {
+				nw.cfg.OnRound(id, computing, aut)
+			}
+			env, ok := proc.EndOfRound()
+			if proc.Halted() {
+				d := proc.Decision()
+				res.Decided = true
+				res.Decision = d.Value
+				res.DecidedRound = computing
+				res.Rounds = proc.CurrentRound()
+				return res
+			}
+			if ok {
+				nw.broadcast(id, env)
+			}
+		}
+	}
+}
+
+// broadcast fans the envelope out to every peer with per-link delays.
+func (nw *network) broadcast(from int, env giraf.Envelope) {
+	for to := 0; to < nw.cfg.N; to++ {
+		if to == from {
+			continue
+		}
+		to := to
+		delay := nw.cfg.Latency.Delay(env.Round, from, to)
+		nw.wg.Add(1)
+		go func() {
+			defer nw.wg.Done()
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			select {
+			case <-nw.ctx.Done():
+				return
+			case <-timer.C:
+			}
+			select {
+			case nw.in[to] <- env:
+			case <-nw.ctx.Done():
+			}
+		}()
+	}
+}

@@ -1,0 +1,26 @@
+// Package core implements the paper's primary contribution: fault-tolerant
+// consensus for unknown and anonymous networks.
+//
+//   - ES (Algorithm 2): consensus in the eventually synchronous environment.
+//     Safety comes from the written-value mechanism (a value counts as
+//     written only when it appears in *every* payload received in a round,
+//     which forces it through the round's source); liveness comes from
+//     eventual synchrony making everyone pick the same maximum.
+//
+//   - ESS (Algorithm 3): consensus in the eventually-stable-source
+//     environment. Liveness cannot rely on all links becoming timely, so the
+//     algorithm performs the paper's novel *pseudo leader election*: each
+//     process tracks a counter per proposal history it has heard of
+//     (Counters); histories of eventual sources are bumped every round while
+//     histories of non-sources stall, so eventually exactly the processes
+//     whose history carries a maximal counter — all of which provably
+//     converge to the same proposals — consider themselves leaders.
+//     Non-leaders propose ⊥ so that the source's value still reaches
+//     everybody every round.
+//
+//   - OmegaConsensus: the classical leader-based baseline (refs [3], [4]):
+//     the same skeleton as Algorithm 3 but with the history mechanism
+//     replaced by an external Ω oracle bit. It quantifies exactly what the
+//     pseudo leader election buys (no oracle, no IDs) and costs (history
+//     and counter baggage in every message), experiment T6.
+package core

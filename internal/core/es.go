@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+// SetPayload is the wire payload of Algorithm 2 (and Algorithm 4): the
+// broadcast PROPOSED set.
+type SetPayload struct {
+	Proposed values.Set
+}
+
+var _ giraf.Payload = SetPayload{}
+
+// PayloadKey implements giraf.Payload.
+func (p SetPayload) PayloadKey() string { return p.Proposed.Key() }
+
+// String implements fmt.Stringer.
+func (p SetPayload) String() string { return p.Proposed.String() }
+
+// ES is Algorithm 2: consensus in the eventually synchronous environment.
+// One instance per process; not safe for concurrent use (the framework
+// serializes calls).
+type ES struct {
+	val        values.Value
+	written    values.Set
+	writtenOld values.Set
+	proposed   values.Set
+
+	// literalNesting reproduces the broken literal reading of the
+	// preprint's flat indentation (line 14 nested in the even-round
+	// else-if); see NewESLiteral.
+	literalNesting bool
+}
+
+var _ giraf.Automaton = (*ES)(nil)
+
+// NewES returns a process automaton proposing v. It panics if v is not a
+// valid proposal (empty or the reserved ⊥).
+func NewES(v values.Value) *ES {
+	if !v.Valid() {
+		panic(fmt.Sprintf("core.NewES: invalid initial value %q", string(v)))
+	}
+	return &ES{
+		val:        v,
+		written:    values.NewSet(),
+		writtenOld: values.NewSet(),
+		proposed:   values.NewSet(),
+	}
+}
+
+// NewESLiteral builds the *broken* variant that updates WRITTENOLD only in
+// even rounds (the literal flat reading of Algorithm 2's line 14). It
+// violates Agreement on some moving-source schedules and exists only as an
+// ablation; see NewESSLiteral for the full story.
+func NewESLiteral(v values.Value) *ES {
+	a := NewES(v)
+	a.literalNesting = true
+	return a
+}
+
+// Initialize implements giraf.Automaton (Algorithm 2 lines 1–4). The
+// returned payload carries {VAL}: the paper's text returns the empty
+// PROPOSED, under which no initial value could ever enter the system — see
+// DESIGN.md §3 note 1.
+func (a *ES) Initialize() giraf.Payload {
+	return SetPayload{Proposed: values.NewSet(a.val)}
+}
+
+// Compute implements giraf.Automaton (Algorithm 2 lines 5–15).
+func (a *ES) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
+	msgs := inbox.Round(k)
+	sets := make([]values.Set, len(msgs))
+	for i, m := range msgs {
+		sets[i] = m.(SetPayload).Proposed
+	}
+	// Line 6: WRITTEN := ∩_{m ∈ M_i[k]} m.
+	a.written = values.IntersectAll(sets)
+	// Line 7: PROPOSED := (∪_{m ∈ M_i[k]} m) ∪ PROPOSED.
+	a.proposed = values.UnionAll(sets).Union(a.proposed)
+
+	if k%2 == 0 {
+		// Line 9: if PROPOSED = WRITTENOLD = {VAL} then decide.
+		if a.proposed.IsExactly(a.val) && a.writtenOld.IsExactly(a.val) {
+			return nil, giraf.Decision{Decided: true, Value: a.val}
+		}
+		// Lines 11–13.
+		if !a.written.IsEmpty() {
+			max, _ := a.written.Max()
+			a.val = max
+			a.proposed = values.NewSet(a.val)
+			if a.literalNesting {
+				a.writtenOld = a.written.Clone() // broken literal reading (ablation)
+			}
+		}
+	}
+	// Line 14 executes every round: WRITTENOLD^k must equal WRITTEN^(k−1),
+	// which is exactly what Lemma 2's proof uses; the even-round-only
+	// placement (a flat reading of the preprint's lost indentation) yields
+	// WRITTEN^(k−2) and violates Agreement on some MS schedules
+	// (DESIGN.md §3 note 3).
+	if !a.literalNesting {
+		a.writtenOld = a.written.Clone()
+	}
+	// Line 15: return PROPOSED.
+	return SetPayload{Proposed: a.proposed.Clone()}, giraf.Decision{}
+}
+
+// Val returns the current estimate (for metrics and tests).
+func (a *ES) Val() values.Value { return a.val }
+
+// Proposed returns a copy of the current PROPOSED set (for tests).
+func (a *ES) Proposed() values.Set { return a.proposed.Clone() }
+
+// Written returns a copy of the last computed WRITTEN set (for tests).
+func (a *ES) Written() values.Set { return a.written.Clone() }

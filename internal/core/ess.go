@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+// ESSPayload is the wire payload of Algorithm 3: ⟨PROPOSED, HISTORY, C⟩.
+type ESSPayload struct {
+	Proposed values.Set
+	History  values.History
+	Counters values.Counters
+}
+
+var _ giraf.Payload = ESSPayload{}
+
+// PayloadKey implements giraf.Payload: the canonical encoding of all three
+// components. Two anonymous processes in identical states broadcast
+// identical payloads and collapse to one inbox element.
+func (p ESSPayload) PayloadKey() string {
+	var b strings.Builder
+	b.WriteString(p.Proposed.Key())
+	b.WriteByte('|')
+	b.WriteString(p.History.Key())
+	b.WriteByte('|')
+	b.WriteString(p.Counters.Key())
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (p ESSPayload) String() string {
+	return fmt.Sprintf("⟨%s, %s, %s⟩", p.Proposed, p.History, p.Counters)
+}
+
+// ESS is Algorithm 3: consensus in the eventually-stable-source
+// environment, built on the pseudo leader election over proposal histories.
+// One instance per process; not safe for concurrent use.
+type ESS struct {
+	val        values.Value
+	counters   values.Counters
+	history    values.History
+	written    values.Set
+	writtenOld values.Set
+	proposed   values.Set
+
+	// wasLeader records the outcome of the last leader check (line 15),
+	// for the convergence experiments (T4, F2).
+	wasLeader bool
+
+	// literalNesting reproduces the broken literal reading of the HAL
+	// preprint's flat indentation (lines 15–20 nested inside the even-round
+	// else-if). See NewESSLiteral.
+	literalNesting bool
+}
+
+var _ giraf.Automaton = (*ESS)(nil)
+
+// NewESS returns a process automaton proposing v. It panics if v is not a
+// valid proposal.
+func NewESS(v values.Value) *ESS {
+	if !v.Valid() {
+		panic(fmt.Sprintf("core.NewESS: invalid initial value %q", string(v)))
+	}
+	return &ESS{
+		val:        v,
+		counters:   values.NewCounters(),
+		history:    values.NewHistory(v),
+		written:    values.NewSet(),
+		writtenOld: values.NewSet(),
+		proposed:   values.NewSet(),
+		wasLeader:  true, // everybody starts considering itself a leader
+	}
+}
+
+// NewESSLiteral builds the *broken* variant in which lines 15–20 are all
+// nested inside the even-round else-if, as a flat reading of the preprint's
+// pseudo-code indentation suggests. That reading makes WRITTENOLD^k =
+// WRITTEN^(k−2) (Lemma 2's proof requires WRITTEN^(k−1)), and stops leaders
+// from proposing when nothing non-⊥ was written (Lemma 7's proof requires
+// "leaders propose their values always"). It violates Agreement on some MS
+// schedules and deadlocks in an all-⊥ state on some ESS schedules. It
+// exists only as an ablation documenting that the proof-derived nesting is
+// load-bearing (DESIGN.md §3 note 3).
+func NewESSLiteral(v values.Value) *ESS {
+	a := NewESS(v)
+	a.literalNesting = true
+	return a
+}
+
+// stepLeaderProposal runs lines 15–18: leaders (or processes whose PROPOSED
+// already collapsed to {VAL, ⊥}) propose their value; everybody else
+// proposes ⊥ so the current source's value still reaches everyone.
+func (a *ESS) stepLeaderProposal() {
+	a.wasLeader = a.counters.IsMaximal(a.history)
+	if a.wasLeader || a.proposed.SubsetOf(values.NewSet(a.val, values.Bot)) {
+		a.proposed = values.NewSet(a.val) // line 16
+	} else {
+		a.proposed = values.NewSet(values.Bot) // line 18
+	}
+}
+
+// Initialize implements giraf.Automaton (Algorithm 3 lines 1–4). As in
+// Algorithm 2 the initial payload carries {VAL} (DESIGN.md §3 note 1).
+func (a *ESS) Initialize() giraf.Payload {
+	return ESSPayload{
+		Proposed: values.NewSet(a.val),
+		History:  a.history,
+		Counters: a.counters.Clone(),
+	}
+}
+
+// Compute implements giraf.Automaton (Algorithm 3 lines 5–22).
+func (a *ESS) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
+	msgs := inbox.Round(k)
+	sets := make([]values.Set, len(msgs))
+	ctrs := make([]values.Counters, len(msgs))
+	for i, m := range msgs {
+		p := m.(ESSPayload)
+		sets[i] = p.Proposed
+		ctrs[i] = p.Counters
+	}
+	// Line 6: WRITTEN := ∩ m.PROPOSED.
+	a.written = values.IntersectAll(sets)
+	// Line 7: PROPOSED := (∪ m.PROPOSED) ∪ PROPOSED.
+	a.proposed = values.UnionAll(sets).Union(a.proposed)
+	// Line 8: ∀H, C[H] := min_m m.C[H].
+	a.counters = values.MinMerge(ctrs)
+	// Line 9: ∀m, C[m.HISTORY] := 1 + max{C[H] | H prefix of m.HISTORY}.
+	// Inbox order is canonical, so this is deterministic.
+	for _, m := range msgs {
+		a.counters.Bump(m.(ESSPayload).History)
+	}
+
+	if k%2 == 0 {
+		// Line 11: if WRITTENOLD = {VAL} ∧ PROPOSED ⊆ {VAL, ⊥} then decide.
+		if a.writtenOld.IsExactly(a.val) && a.proposed.SubsetOf(values.NewSet(a.val, values.Bot)) {
+			return nil, giraf.Decision{Decided: true, Value: a.val}
+		}
+		// Lines 13–14: adopt the maximum written value, if any.
+		if nonBot := a.written.Without(values.Bot); !nonBot.IsEmpty() {
+			max, _ := nonBot.Max()
+			a.val = max
+			if a.literalNesting {
+				// Broken flat reading: lines 15–19 nested under the else-if.
+				a.stepLeaderProposal()
+				a.writtenOld = a.written.Clone()
+			}
+		}
+		if !a.literalNesting {
+			// Lines 15–18 execute every even round, NOT only when something
+			// non-⊥ was written: Lemma 7's proof needs "leaders propose
+			// their values always". Gating them under line 13 deadlocks the
+			// system in an all-⊥ state once every process proposed ⊥ in the
+			// same even round (DESIGN.md §3 note 3).
+			a.stepLeaderProposal()
+		}
+	}
+	// Lines 19–20 execute every round: WRITTENOLD must always hold the
+	// previous round's WRITTEN — Lemma 2's proof ("it has had v in WRITTEN
+	// in the same odd round k−1") depends on it, and the even-round-only
+	// placement demonstrably violates Agreement (DESIGN.md §3 note 3).
+	if !a.literalNesting {
+		a.writtenOld = a.written.Clone() // line 19
+		a.written = a.proposed.Clone()   // line 20 (no observable effect; kept faithful)
+	}
+	// Line 21: append VAL to HISTORY (every round).
+	a.history = a.history.Append(a.val)
+	// Line 22.
+	return ESSPayload{
+		Proposed: a.proposed.Clone(),
+		History:  a.history,
+		Counters: a.counters.Clone(),
+	}, giraf.Decision{}
+}
+
+// Val returns the current estimate.
+func (a *ESS) Val() values.Value { return a.val }
+
+// History returns the process's proposal history (shared slice; treat as
+// read-only).
+func (a *ESS) History() values.History { return a.history }
+
+// IsLeader reports whether the process considered itself a leader at its
+// last even-round check (line 15); true initially.
+func (a *ESS) IsLeader() bool { return a.wasLeader }
+
+// LeaderNow evaluates the leader predicate of Definition leader(k) against
+// the current counter table: C[HISTORY] ≥ C[H] for all H. Experiments use
+// it to sample the leader set per round (T4, F2).
+func (a *ESS) LeaderNow() bool { return a.counters.IsMaximal(a.history) }
+
+// Counters returns a copy of the counter table (for tests and metrics).
+func (a *ESS) Counters() values.Counters { return a.counters.Clone() }
+
+// Proposed returns a copy of the current PROPOSED set (for tests).
+func (a *ESS) Proposed() values.Set { return a.proposed.Clone() }
+
+// Written returns a copy of the last line-6 WRITTEN set (for tests).
+func (a *ESS) Written() values.Set { return a.written.Clone() }
+
+// WrittenOld returns a copy of WRITTENOLD (for tests).
+func (a *ESS) WrittenOld() values.Set { return a.writtenOld.Clone() }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/sim"
+	"anonconsensus/internal/values"
+)
+
+// RunOpts configures a convenience simulation run of one of the consensus
+// automata.
+type RunOpts struct {
+	// Policy is the environment; required.
+	Policy sim.Policy
+	// Crashes is the sim crash schedule (may be nil).
+	Crashes map[int]int
+	// MaxRounds bounds the run; 0 defaults to 10·n + 200.
+	MaxRounds int
+	// RecordTrace forwards sim.Config.RecordTrace.
+	RecordTrace bool
+	// OnRound forwards sim.Config.OnRound.
+	OnRound func(round int, e *sim.Engine)
+}
+
+func (o RunOpts) maxRounds(n int) int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 10*n + 200
+}
+
+// RunES simulates Algorithm 2 with one process per proposal value.
+func RunES(proposals []values.Value, opts RunOpts) (*sim.Result, error) {
+	return sim.Run(sim.Config{
+		N:           len(proposals),
+		Automaton:   func(i int) giraf.Automaton { return NewES(proposals[i]) },
+		Policy:      opts.Policy,
+		Crashes:     opts.Crashes,
+		MaxRounds:   opts.maxRounds(len(proposals)),
+		RecordTrace: opts.RecordTrace,
+		OnRound:     opts.OnRound,
+	})
+}
+
+// RunESS simulates Algorithm 3 with one process per proposal value.
+func RunESS(proposals []values.Value, opts RunOpts) (*sim.Result, error) {
+	return sim.Run(sim.Config{
+		N:           len(proposals),
+		Automaton:   func(i int) giraf.Automaton { return NewESS(proposals[i]) },
+		Policy:      opts.Policy,
+		Crashes:     opts.Crashes,
+		MaxRounds:   opts.maxRounds(len(proposals)),
+		RecordTrace: opts.RecordTrace,
+		OnRound:     opts.OnRound,
+	})
+}
+
+// RunOmega simulates the Ω baseline. The oracle factory receives the
+// process index so tests can build eventually-accurate oracles.
+func RunOmega(proposals []values.Value, oracle func(i int) LeaderOracle, opts RunOpts) (*sim.Result, error) {
+	return sim.Run(sim.Config{
+		N:           len(proposals),
+		Automaton:   func(i int) giraf.Automaton { return NewOmegaConsensus(proposals[i], oracle(i)) },
+		Policy:      opts.Policy,
+		Crashes:     opts.Crashes,
+		MaxRounds:   opts.maxRounds(len(proposals)),
+		RecordTrace: opts.RecordTrace,
+		OnRound:     opts.OnRound,
+	})
+}
+
+// EventualOracle builds an Ω oracle family that stabilizes at round gst to
+// the single leader `leader`: before gst every process considers itself a
+// leader (maximally wrong), afterwards only `leader` does.
+func EventualOracle(leader, gst int) func(i int) LeaderOracle {
+	return func(i int) LeaderOracle {
+		return func(round int) bool {
+			if round < gst {
+				return true
+			}
+			return i == leader
+		}
+	}
+}
+
+// ProposalSet collects a proposal slice into a value set (for validity
+// checks).
+func ProposalSet(proposals []values.Value) values.Set {
+	return values.NewSet(proposals...)
+}
+
+// DistinctProposals returns n distinct numeric proposals 0..n-1.
+func DistinctProposals(n int) []values.Value {
+	out := make([]values.Value, n)
+	for i := range out {
+		out[i] = values.Num(int64(i))
+	}
+	return out
+}
+
+// SplitProposals returns n proposals drawn from k distinct values
+// round-robin (value i%k for process i), the workload used by the
+// convergence experiments.
+func SplitProposals(n, k int) []values.Value {
+	out := make([]values.Value, n)
+	for i := range out {
+		out[i] = values.Num(int64(i % k))
+	}
+	return out
+}

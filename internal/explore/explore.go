@@ -1,0 +1,267 @@
+// Package explore is a bounded exhaustive checker: for small systems it
+// enumerates *every* MS-valid delay schedule (and optionally every crash
+// placement) up to a horizon and verifies the consensus safety properties
+// on each run. Where the random-schedule tests sample the adversary space,
+// this package covers it exhaustively — a model-checking-style complement
+// for the sizes where that is tractable:
+//
+//	n = 2, delays ∈ {0,1}, horizon 6  →     729 schedules
+//	n = 3, delays ∈ {0,1}, horizon 4  → ~2.8 M schedules (use SampleEvery)
+//
+// A schedule is a sequence of per-round delay matrices; MS-validity means
+// every round has a source (a sender whose envelopes are all timely).
+package explore
+
+import (
+	"fmt"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/sim"
+	"anonconsensus/internal/values"
+)
+
+// Algorithm selects the automaton under test.
+type Algorithm int
+
+// Supported algorithms.
+const (
+	AlgES Algorithm = iota + 1
+	AlgESS
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgES:
+		return "ES"
+	case AlgESS:
+		return "ESS"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config bounds the exploration.
+type Config struct {
+	// Proposals holds one initial value per process; n = len(Proposals).
+	// Keep n ≤ 3: the schedule space is V^H with V ≈ 2^(n(n−1)) matrices.
+	Proposals []values.Value
+	// Algorithm is the automaton under test.
+	Algorithm Algorithm
+	// Horizon is the number of rounds whose matrices are enumerated;
+	// rounds beyond the horizon repeat the last matrix (the adversary
+	// commits to a steady state), and the run executes Horizon+Tail
+	// rounds in total.
+	Horizon int
+	// Tail is the number of extra steady-state rounds; defaults to 8.
+	Tail int
+	// CrashSweeps additionally enumerates every (process, round ≤ Horizon)
+	// crash placement for every schedule.
+	CrashSweeps bool
+	// SampleEvery keeps only every k-th schedule (1 = all); use it to keep
+	// n = 3 explorations tractable.
+	SampleEvery int
+	// Automaton, if non-nil, overrides the Algorithm selection with a
+	// custom factory (used to explore broken ablation variants and to test
+	// the explorer's own violation detection).
+	Automaton func(i int) giraf.Automaton
+}
+
+func (c *Config) validate() error {
+	n := len(c.Proposals)
+	switch {
+	case n < 1 || n > 3:
+		return fmt.Errorf("explore: n = %d, exhaustive search supports 1..3", n)
+	case c.Horizon < 1 || c.Horizon > 8:
+		return fmt.Errorf("explore: horizon = %d, want 1..8", c.Horizon)
+	}
+	switch c.Algorithm {
+	case AlgES, AlgESS:
+	default:
+		return fmt.Errorf("explore: unknown algorithm %d", int(c.Algorithm))
+	}
+	for i, p := range c.Proposals {
+		if !p.Valid() {
+			return fmt.Errorf("explore: proposal %d invalid (%q)", i, string(p))
+		}
+	}
+	return nil
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	// Schedules is the number of schedules executed.
+	Schedules int
+	// Runs is the number of simulation runs (schedules × crash placements).
+	Runs int
+	// Decided counts runs in which every correct process decided.
+	Decided int
+	// Violations lists every safety violation found (empty = verified).
+	Violations []string
+}
+
+// Verified reports whether no run violated safety.
+func (r *Report) Verified() bool { return len(r.Violations) == 0 }
+
+// matrix is one round's delay assignment: delay[i][j] ∈ {0,1} for i ≠ j.
+type matrix [][]int
+
+// enumerateMatrices returns every n×n delay matrix over {0,1} that has a
+// source (some i with delay[i][j] = 0 for all j).
+func enumerateMatrices(n int) []matrix {
+	pairs := make([][2]int, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	var out []matrix
+	total := 1 << uint(len(pairs))
+	for mask := 0; mask < total; mask++ {
+		m := make(matrix, n)
+		for i := range m {
+			m[i] = make([]int, n)
+		}
+		for b, p := range pairs {
+			if mask&(1<<uint(b)) != 0 {
+				m[p[0]][p[1]] = 1
+			}
+		}
+		hasSource := false
+		for i := 0; i < n && !hasSource; i++ {
+			ok := true
+			for j := 0; j < n; j++ {
+				if i != j && m[i][j] != 0 {
+					ok = false
+					break
+				}
+			}
+			hasSource = ok
+		}
+		if hasSource {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// schedulePolicy replays an explicit matrix sequence, repeating the last
+// matrix beyond the horizon.
+type schedulePolicy struct {
+	matrices []matrix
+}
+
+var _ sim.Policy = (*schedulePolicy)(nil)
+
+func (p *schedulePolicy) Schedule(round int, senders []int, n int) sim.DelayFn {
+	idx := round - 1
+	if idx >= len(p.matrices) {
+		idx = len(p.matrices) - 1
+	}
+	m := p.matrices[idx]
+	return func(sender, receiver int) int { return m[sender][receiver] }
+}
+
+// Run executes the exploration.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Proposals)
+	tail := cfg.Tail
+	if tail <= 0 {
+		tail = 8
+	}
+	sample := cfg.SampleEvery
+	if sample <= 0 {
+		sample = 1
+	}
+	base := enumerateMatrices(n)
+	report := &Report{}
+	proposals := core.ProposalSet(cfg.Proposals)
+
+	// Iterate schedules as base-|base| numbers of Horizon digits.
+	digits := make([]int, cfg.Horizon)
+	scheduleIdx := 0
+	for {
+		if scheduleIdx%sample == 0 {
+			mats := make([]matrix, cfg.Horizon)
+			for i, d := range digits {
+				mats[i] = base[d]
+			}
+			report.Schedules++
+			if err := runSchedules(cfg, mats, cfg.Horizon+tail, proposals, report); err != nil {
+				return nil, err
+			}
+		}
+		scheduleIdx++
+		// Increment the digit vector.
+		pos := 0
+		for pos < len(digits) {
+			digits[pos]++
+			if digits[pos] < len(base) {
+				break
+			}
+			digits[pos] = 0
+			pos++
+		}
+		if pos == len(digits) {
+			break
+		}
+	}
+	return report, nil
+}
+
+// runSchedules runs one schedule, optionally sweeping crash placements.
+func runSchedules(cfg Config, mats []matrix, maxRounds int, proposals values.Set, report *Report) error {
+	type crash struct{ pid, at int }
+	crashPlans := []crash{{-1, 0}} // no crash
+	if cfg.CrashSweeps {
+		for pid := 0; pid < len(cfg.Proposals); pid++ {
+			for at := 1; at <= cfg.Horizon; at++ {
+				crashPlans = append(crashPlans, crash{pid, at})
+			}
+		}
+	}
+	for _, cp := range crashPlans {
+		var crashes map[int]int
+		if cp.pid >= 0 {
+			crashes = map[int]int{cp.pid: cp.at}
+		}
+		automaton := cfg.Automaton
+		if automaton == nil {
+			automaton = func(i int) giraf.Automaton {
+				if cfg.Algorithm == AlgESS {
+					return core.NewESS(cfg.Proposals[i])
+				}
+				return core.NewES(cfg.Proposals[i])
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			N:         len(cfg.Proposals),
+			Automaton: automaton,
+			Policy:    &schedulePolicy{matrices: mats},
+			Crashes:   crashes,
+			MaxRounds: maxRounds,
+		})
+		if err != nil {
+			return err
+		}
+		report.Runs++
+		if err := res.CheckAgreement(); err != nil {
+			report.Violations = append(report.Violations,
+				fmt.Sprintf("schedule %v crash %+v: %v", mats, cp, err))
+		}
+		if err := res.CheckValidity(proposals); err != nil {
+			report.Violations = append(report.Violations,
+				fmt.Sprintf("schedule %v crash %+v: %v", mats, cp, err))
+		}
+		if res.AllCorrectDecided() {
+			report.Decided++
+		}
+	}
+	return nil
+}

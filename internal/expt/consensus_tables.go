@@ -1,0 +1,288 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/fd"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/sim"
+)
+
+// seedsFor returns the averaging seeds for a grid point.
+func seedsFor(quick bool) []int64 {
+	if quick {
+		return []int64{1, 2}
+	}
+	return []int64{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+// runT1: ES decision round vs n, synchronous-from-start and GST=10.
+func runT1(w io.Writer, quick bool) error {
+	ns := []int{2, 4, 8, 16, 32, 64}
+	if quick {
+		ns = []int{2, 4, 8}
+	}
+	t := newTable("n", "rounds (GST=0)", "rounds (GST=10, mean)", "broadcasts (GST=10, mean)")
+	for _, n := range ns {
+		props := core.DistinctProposals(n)
+		syncRes, err := core.RunES(props, core.RunOpts{Policy: sim.Synchronous{}})
+		if err != nil {
+			return err
+		}
+		if !syncRes.AllCorrectDecided() {
+			return fmt.Errorf("T1: undecided synchronous run at n=%d", n)
+		}
+		var rounds, bcasts []int
+		for _, seed := range seedsFor(quick) {
+			res, err := core.RunES(props, core.RunOpts{
+				Policy: &sim.ES{GST: 10, Pre: sim.MS{Seed: seed, MaxDelay: 3}},
+			})
+			if err != nil {
+				return err
+			}
+			if err := res.CheckAgreement(); err != nil {
+				return fmt.Errorf("T1 n=%d seed=%d: %w", n, seed, err)
+			}
+			if !res.AllCorrectDecided() {
+				return fmt.Errorf("T1: undecided run at n=%d seed=%d", n, seed)
+			}
+			rounds = append(rounds, res.LastDecisionRound())
+			bcasts = append(bcasts, res.Metrics.Broadcasts)
+		}
+		t.add(n, syncRes.LastDecisionRound(), fmt.Sprintf("%.1f", mean(rounds)), fmt.Sprintf("%.0f", mean(bcasts)))
+	}
+	return t.write(w)
+}
+
+// runT2: ES decision round vs GST at fixed n.
+func runT2(w io.Writer, quick bool) error {
+	gsts := []int{0, 4, 8, 16, 32, 64}
+	if quick {
+		gsts = []int{0, 4, 8}
+	}
+	const n = 8
+	t := newTable("GST", "first decision (mean)", "last decision (mean)", "last − GST")
+	for _, gst := range gsts {
+		var firsts, lasts []int
+		for _, seed := range seedsFor(quick) {
+			res, err := core.RunES(core.DistinctProposals(n), core.RunOpts{
+				// Alternating pre-GST sources keep the system undecided
+				// until stabilization, so GST is actually load-bearing.
+				Policy: &sim.ES{GST: gst, Pre: sim.MS{Seed: seed, Alternate: true}},
+			})
+			if err != nil {
+				return err
+			}
+			if !res.AllCorrectDecided() {
+				return fmt.Errorf("T2: undecided run at gst=%d seed=%d", gst, seed)
+			}
+			firsts = append(firsts, res.FirstDecisionRound())
+			lasts = append(lasts, res.LastDecisionRound())
+		}
+		t.add(gst, fmt.Sprintf("%.1f", mean(firsts)), fmt.Sprintf("%.1f", mean(lasts)),
+			fmt.Sprintf("%.1f", mean(lasts)-float64(gst)))
+	}
+	return t.write(w)
+}
+
+// runT3: ESS decision round vs n under a single stable source.
+func runT3(w io.Writer, quick bool) error {
+	ns := []int{2, 4, 8, 16}
+	if quick {
+		ns = []int{2, 4}
+	}
+	const gst = 8
+	t := newTable("n", "last decision (mean)", "last decision (max)", "max history len")
+	for _, n := range ns {
+		var lasts []int
+		maxLast, maxHist := 0, 0
+		for _, seed := range seedsFor(quick) {
+			props := core.DistinctProposals(n)
+			var hist int
+			res, err := core.RunESS(props, core.RunOpts{
+				Policy:    &sim.ESS{GST: gst, StableSource: int(seed) % n, Pre: sim.MS{Seed: seed, Alternate: true}},
+				MaxRounds: 600,
+				OnRound: func(r int, e *sim.Engine) {
+					for i := 0; i < e.N(); i++ {
+						if a, ok := e.Automaton(i).(*core.ESS); ok && !e.Proc(i).Halted() {
+							if l := a.History().Len(); l > hist {
+								hist = l
+							}
+						}
+					}
+				},
+			})
+			if err != nil {
+				return err
+			}
+			if err := res.CheckAgreement(); err != nil {
+				return fmt.Errorf("T3 n=%d seed=%d: %w", n, seed, err)
+			}
+			if !res.AllCorrectDecided() {
+				return fmt.Errorf("T3: undecided run at n=%d seed=%d", n, seed)
+			}
+			lasts = append(lasts, res.LastDecisionRound())
+			if l := res.LastDecisionRound(); l > maxLast {
+				maxLast = l
+			}
+			if hist > maxHist {
+				maxHist = hist
+			}
+		}
+		t.add(n, fmt.Sprintf("%.1f", mean(lasts)), maxLast, maxHist)
+	}
+	return t.write(w)
+}
+
+// runT4: pseudo leader election convergence vs the ID-based Ω baseline.
+func runT4(w io.Writer, quick bool) error {
+	type point struct{ n, distinct int }
+	grid := []point{{3, 2}, {5, 2}, {5, 5}, {9, 3}}
+	if quick {
+		grid = []point{{3, 2}, {5, 2}}
+	}
+	const gst = 8
+	t := newTable("n", "#values", "anon leader stable at (mean)", "Ω(IDs) stable at (mean)")
+	for _, pt := range grid {
+		var anonRounds, omegaRounds []int
+		for _, seed := range seedsFor(quick) {
+			src := int(seed) % pt.n
+			anon, err := leaderStableRound(pt.n, pt.distinct, gst, src, seed)
+			if err != nil {
+				return err
+			}
+			omega, err := omegaStableRound(pt.n, gst, src, seed)
+			if err != nil {
+				return err
+			}
+			anonRounds = append(anonRounds, anon)
+			omegaRounds = append(omegaRounds, omega)
+		}
+		t.add(pt.n, pt.distinct, fmt.Sprintf("%.1f", mean(anonRounds)), fmt.Sprintf("%.1f", mean(omegaRounds)))
+	}
+	return t.write(w)
+}
+
+// leaderStableRound runs ESS and returns the first round from which the
+// self-considered leader set stayed stable until the first decision.
+func leaderStableRound(n, distinct, gst, src int, seed int64) (int, error) {
+	props := core.SplitProposals(n, distinct)
+	type sample struct {
+		round   int
+		leaders string
+	}
+	var samples []sample
+	res, err := core.RunESS(props, core.RunOpts{
+		Policy:    &sim.ESS{GST: gst, StableSource: src, Pre: sim.MS{Seed: seed, Alternate: true}},
+		MaxRounds: 600,
+		OnRound: func(r int, e *sim.Engine) {
+			key := ""
+			for i := 0; i < e.N(); i++ {
+				if a, ok := e.Automaton(i).(*core.ESS); ok && !e.Proc(i).Halted() && a.IsLeader() {
+					key += fmt.Sprintf("%d,", i)
+				}
+			}
+			samples = append(samples, sample{round: r, leaders: key})
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !res.AllCorrectDecided() {
+		return 0, fmt.Errorf("T4: undecided ESS run (n=%d seed=%d)", n, seed)
+	}
+	end := res.FirstDecisionRound()
+	stable := end
+	for i := len(samples) - 1; i > 0; i-- {
+		if samples[i].round >= end {
+			continue
+		}
+		if samples[i].leaders != samples[i-1].leaders {
+			break
+		}
+		stable = samples[i].round
+	}
+	return stable, nil
+}
+
+// omegaStableRound runs the ID-based Ω tracker on the same schedule shape
+// and returns the first round from which all leader estimates equal the
+// source and never change again.
+func omegaStableRound(n, gst, src int, seed int64) (int, error) {
+	trackers := make([]*fd.OmegaTracker, n)
+	lastUnstable := 0
+	const rounds = 300
+	_, err := sim.Run(sim.Config{
+		N: n,
+		Automaton: func(i int) giraf.Automaton {
+			trackers[i] = fd.NewOmegaTracker(i)
+			return trackers[i]
+		},
+		Policy:    &sim.ESS{GST: gst, StableSource: src, Pre: sim.MS{Seed: seed, Alternate: true}},
+		MaxRounds: rounds,
+		OnRound: func(r int, e *sim.Engine) {
+			for _, tr := range trackers {
+				if tr.Leader() != src {
+					lastUnstable = r
+					return
+				}
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if lastUnstable >= rounds {
+		return 0, fmt.Errorf("T4: Ω never stabilized (n=%d seed=%d)", n, seed)
+	}
+	return lastUnstable + 1, nil
+}
+
+// runT5: decision rounds under crash sweeps, ES and ESS.
+func runT5(w io.Writer, quick bool) error {
+	const n = 8
+	crashCounts := []int{0, 2, 4, 7}
+	if quick {
+		crashCounts = []int{0, 4}
+	}
+	t := newTable("crashes", "ES last decision (mean)", "ESS last decision (mean)")
+	for _, f := range crashCounts {
+		var esRounds, essRounds []int
+		for _, seed := range seedsFor(quick) {
+			crashes := make(map[int]int)
+			for i := 0; i < f; i++ {
+				crashes[i] = 2*i + 1 // staggered crashes
+			}
+			props := core.DistinctProposals(n)
+			esRes, err := core.RunES(props, core.RunOpts{
+				Policy:  &sim.ES{GST: 10, Pre: sim.MS{Seed: seed}},
+				Crashes: crashes,
+			})
+			if err != nil {
+				return err
+			}
+			if !esRes.AllCorrectDecided() {
+				return fmt.Errorf("T5: undecided ES run (f=%d seed=%d)", f, seed)
+			}
+			// The stable source must survive: use the highest index (never
+			// crashed in the staggered schedule).
+			essRes, err := core.RunESS(props, core.RunOpts{
+				Policy:    &sim.ESS{GST: 10, StableSource: n - 1, Pre: sim.MS{Seed: seed}},
+				Crashes:   crashes,
+				MaxRounds: 600,
+			})
+			if err != nil {
+				return err
+			}
+			if !essRes.AllCorrectDecided() {
+				return fmt.Errorf("T5: undecided ESS run (f=%d seed=%d)", f, seed)
+			}
+			esRounds = append(esRounds, esRes.LastDecisionRound())
+			essRounds = append(essRounds, essRes.LastDecisionRound())
+		}
+		t.add(f, fmt.Sprintf("%.1f", mean(esRounds)), fmt.Sprintf("%.1f", mean(essRounds)))
+	}
+	return t.write(w)
+}

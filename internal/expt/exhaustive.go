@@ -1,0 +1,62 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"anonconsensus/internal/explore"
+	"anonconsensus/internal/values"
+)
+
+// runX1: bounded exhaustive verification — every MS-valid {0,1}-delay
+// schedule (and crash placement) for tiny systems, model-checking style.
+func runX1(w io.Writer, quick bool) error {
+	type job struct {
+		label   string
+		cfg     explore.Config
+		skipOnQ bool
+	}
+	two := []values.Value{values.Num(1), values.Num(2)}
+	three := []values.Value{values.Num(1), values.Num(2), values.Num(3)}
+	jobs := []job{
+		{
+			label: "ES n=2 horizon=6 + crash sweep",
+			cfg:   explore.Config{Proposals: two, Algorithm: explore.AlgES, Horizon: 6, CrashSweeps: true},
+		},
+		{
+			label: "ESS n=2 horizon=5 + crash sweep",
+			cfg:   explore.Config{Proposals: two, Algorithm: explore.AlgESS, Horizon: 5, Tail: 12, CrashSweeps: true},
+		},
+		{
+			label:   "ES n=3 horizon=4 (sampled 1/53)",
+			cfg:     explore.Config{Proposals: three, Algorithm: explore.AlgES, Horizon: 4, SampleEvery: 53},
+			skipOnQ: true,
+		},
+	}
+	t := newTable("space", "schedules", "runs", "decided", "violations")
+	for _, j := range jobs {
+		if quick && j.skipOnQ {
+			continue
+		}
+		if quick {
+			j.cfg.Horizon = minHorizon(j.cfg.Horizon, 4)
+		}
+		rep, err := explore.Run(j.cfg)
+		if err != nil {
+			return fmt.Errorf("X1 %s: %w", j.label, err)
+		}
+		verdict := "none (verified)"
+		if !rep.Verified() {
+			verdict = fmt.Sprintf("%d (FIRST: %s)", len(rep.Violations), rep.Violations[0])
+		}
+		t.add(j.label, rep.Schedules, rep.Runs, rep.Decided, verdict)
+	}
+	return t.write(w)
+}
+
+func minHorizon(h, cap int) int {
+	if h > cap {
+		return cap
+	}
+	return h
+}

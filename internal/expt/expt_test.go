@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf, true); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "\n") || len(out) < 20 {
+				t.Errorf("%s produced implausibly small output:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("T1"); !ok {
+		t.Error("T1 missing")
+	}
+	if _, ok := ByID("t10"); !ok {
+		t.Error("lookup must be case-insensitive")
+	}
+	if _, ok := ByID("T99"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+func TestAllIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := newTable("a", "long-header")
+	tb.add(1, "x")
+	tb.add(22, "yy")
+	var buf bytes.Buffer
+	if err := tb.write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "long-header") {
+		t.Errorf("header malformed: %q", lines[0])
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int{5, 1, 9, 3, 7}
+	tests := []struct{ p, want int }{
+		{50, 5}, {100, 9}, {1, 1}, {90, 9},
+	}
+	for _, tt := range tests {
+		if got := percentile(xs, tt.p); got != tt.want {
+			t.Errorf("percentile(%d) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := mean([]int{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+	if mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+}
+
+func TestTableWriteErrorPropagates(t *testing.T) {
+	tb := newTable("x")
+	tb.add(1)
+	if err := tb.write(failWriter{}); err == nil {
+		t.Error("write error must propagate")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -1,0 +1,180 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/fd"
+	"anonconsensus/internal/sim"
+)
+
+// runT10: every candidate Σ emulator is destroyed by the Prop. 4 two-run
+// construction.
+func runT10(w io.Writer, quick bool) error {
+	horizon := 1000
+	if quick {
+		horizon = 200
+	}
+	t := newTable("candidate", "violated property", "p0 outputs {p0} at", "p1 outputs {p1} at")
+	for _, c := range []struct {
+		name string
+		mk   func() fd.SigmaCandidate
+	}{
+		{"timeout quorum (W=3)", func() fd.SigmaCandidate { return &fd.TimeoutQuorum{Window: 3} }},
+		{"timeout quorum (W=10)", func() fd.SigmaCandidate { return &fd.TimeoutQuorum{Window: 10} }},
+		{"majority stick (S=5)", func() fd.SigmaCandidate { return &fd.MajorityStick{Silence: 5} }},
+		{"eager self", func() fd.SigmaCandidate { return &fd.EagerSelf{} }},
+	} {
+		h := &fd.Prop4Harness{New: c.mk, Horizon: horizon}
+		v, err := h.Disprove()
+		if err != nil {
+			return fmt.Errorf("T10 %s: %w", c.name, err)
+		}
+		r1, r2 := "-", "-"
+		if v.RunOneRound > 0 {
+			r1 = fmt.Sprint(v.RunOneRound)
+		}
+		if v.RunTwoRound > 0 {
+			r2 = fmt.Sprint(v.RunTwoRound)
+		}
+		t.add(c.name, v.Kind, r1, r2)
+	}
+	return t.write(w)
+}
+
+// runF1: decision-round percentiles over many random schedules.
+func runF1(w io.Writer, quick bool) error {
+	seeds := 500
+	if quick {
+		seeds = 40
+	}
+	const n, gst = 8, 10
+	t := newTable("algorithm", "runs", "p50", "p90", "p99", "max")
+	collect := func(run func(seed int64) (int, error)) ([]int, error) {
+		var out []int
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			r, err := run(seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	esRounds, err := collect(func(seed int64) (int, error) {
+		res, err := core.RunES(core.DistinctProposals(n), core.RunOpts{
+			Policy: &sim.ES{GST: gst, Pre: sim.MS{Seed: seed, MaxDelay: 4, Alternate: seed%2 == 0}},
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !res.AllCorrectDecided() {
+			return 0, fmt.Errorf("F1 ES: undecided seed %d", seed)
+		}
+		if err := res.CheckAgreement(); err != nil {
+			return 0, fmt.Errorf("F1 ES seed %d: %w", seed, err)
+		}
+		return res.LastDecisionRound(), nil
+	})
+	if err != nil {
+		return err
+	}
+	essRounds, err := collect(func(seed int64) (int, error) {
+		res, err := core.RunESS(core.DistinctProposals(n), core.RunOpts{
+			Policy:    &sim.ESS{GST: gst, StableSource: int(seed) % n, Pre: sim.MS{Seed: seed, Alternate: seed%2 == 0}},
+			MaxRounds: 800,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !res.AllCorrectDecided() {
+			return 0, fmt.Errorf("F1 ESS: undecided seed %d", seed)
+		}
+		if err := res.CheckAgreement(); err != nil {
+			return 0, fmt.Errorf("F1 ESS seed %d: %w", seed, err)
+		}
+		return res.LastDecisionRound(), nil
+	})
+	if err != nil {
+		return err
+	}
+	t.add("ES (Alg 2)", len(esRounds), percentile(esRounds, 50), percentile(esRounds, 90), percentile(esRounds, 99), percentile(esRounds, 100))
+	t.add("ESS (Alg 3)", len(essRounds), percentile(essRounds, 50), percentile(essRounds, 90), percentile(essRounds, 99), percentile(essRounds, 100))
+	return t.write(w)
+}
+
+// runF2: time series of self-considered leaders per round in one ESS run.
+func runF2(w io.Writer, quick bool) error {
+	const n, gst, src = 5, 8, 2
+	maxShown := 40
+	if quick {
+		maxShown = 20
+	}
+	counts := make(map[int]int)
+	res, err := core.RunESS(core.DistinctProposals(n), core.RunOpts{
+		Policy:    &sim.ESS{GST: gst, StableSource: src, Pre: sim.MS{Seed: 3}},
+		MaxRounds: 600,
+		OnRound: func(r int, e *sim.Engine) {
+			c := 0
+			for i := 0; i < e.N(); i++ {
+				if a, ok := e.Automaton(i).(*core.ESS); ok && !e.Proc(i).Halted() && a.IsLeader() {
+					c++
+				}
+			}
+			counts[r] = c
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if !res.AllCorrectDecided() {
+		return fmt.Errorf("F2: run undecided")
+	}
+	t := newTable("round", "self-considered leaders", "")
+	last := res.LastDecisionRound()
+	if last > maxShown {
+		last = maxShown
+	}
+	for r := 1; r <= last; r++ {
+		bar := strings.Repeat("█", counts[r])
+		t.add(r, counts[r], bar)
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "(GST=%d, stable source=p%d; decisions complete at round %d)\n",
+		gst, src, res.LastDecisionRound())
+	return err
+}
+
+// runF3: the adversarial alternating-source schedule keeps Algorithm 2
+// undecided for arbitrarily long, with the MS property machine-checked.
+func runF3(w io.Writer, quick bool) error {
+	horizons := []int{100, 500, 1000}
+	if quick {
+		horizons = []int{50, 100}
+	}
+	t := newTable("rounds run", "MS property", "decisions", "conclusion")
+	for _, h := range horizons {
+		res, err := core.RunES(core.SplitProposals(4, 2), core.RunOpts{
+			Policy:      &sim.AlternatingMS{A: 0, B: 3},
+			MaxRounds:   h,
+			RecordTrace: true,
+		})
+		if err != nil {
+			return err
+		}
+		msOK := "holds every round"
+		if err := res.Trace.CheckMS(); err != nil {
+			msOK = err.Error()
+		}
+		concl := "no decision: MS alone insufficient"
+		if d := res.Decisions(); d.Len() > 0 {
+			concl = fmt.Sprintf("DECIDED %v (unexpected)", d)
+		}
+		t.add(h, msOK, res.Decisions().Len(), concl)
+	}
+	return t.write(w)
+}

@@ -1,0 +1,90 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"anonconsensus/internal/obstruction"
+	"anonconsensus/internal/values"
+)
+
+// runT11: obstruction-free consensus under contention — the related-work
+// [9] extension. Sweeps the number of concurrent anonymous proposers and
+// reports rounds/attempts until the first decision.
+func runT11(w io.Writer, quick bool) error {
+	workers := []int{1, 2, 4, 8}
+	trials := 30
+	if quick {
+		workers = []int{1, 4}
+		trials = 8
+	}
+	t := newTable("proposers", "trials", "attempts to decide (mean)", "agreement")
+	for _, p := range workers {
+		var attemptsTotal int
+		agree := true
+		for trial := 0; trial < trials; trial++ {
+			attempts, ok := runOFTrial(p, int64(trial))
+			if !ok {
+				agree = false
+				continue
+			}
+			attemptsTotal += attempts
+		}
+		verdict := "always"
+		if !agree {
+			verdict = "VIOLATED"
+		}
+		t.add(p, trials, fmt.Sprintf("%.1f", float64(attemptsTotal)/float64(trials)), verdict)
+	}
+	return t.write(w)
+}
+
+// runOFTrial races p proposers with randomized backoff until everyone
+// holds a decision; it returns the total Propose attempts and whether all
+// decisions agreed.
+func runOFTrial(p int, seed int64) (attempts int, agreed bool) {
+	c := obstruction.NewConsensus()
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		decided    = values.NewSet()
+		attempts64 int
+	)
+	for i := 0; i < p; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*97 + int64(i)))
+			for attempt := 1; ; attempt++ {
+				if v, ok := c.Decided(); ok {
+					mu.Lock()
+					decided.Add(v)
+					attempts64 += attempt - 1
+					mu.Unlock()
+					return
+				}
+				v, ok, err := c.Propose(values.Num(int64(100+i)), 6)
+				if err != nil {
+					mu.Lock()
+					attempts64 += attempt
+					mu.Unlock()
+					return
+				}
+				if ok {
+					mu.Lock()
+					decided.Add(v)
+					attempts64 += attempt
+					mu.Unlock()
+					return
+				}
+				time.Sleep(time.Duration(rng.Intn(1<<uint(minHorizon(attempt, 9)))) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	return attempts64, decided.Len() == 1
+}

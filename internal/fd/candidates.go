@@ -1,0 +1,133 @@
+package fd
+
+import "sort"
+
+// The candidate Σ emulators below are the natural attempts one would make
+// in a known network: all of them are disproved by the Prop. 4 harness,
+// which is the point — the construction works against *any* deterministic
+// candidate, these just make the demonstration concrete and runnable.
+
+// TimeoutQuorum trusts every process heard from within the last Window
+// rounds (always including itself).
+type TimeoutQuorum struct {
+	// Window is the silence tolerance in rounds; 0 defaults to 3.
+	Window int
+
+	id, n    int
+	lastSeen map[int]int
+}
+
+var _ SigmaCandidate = (*TimeoutQuorum)(nil)
+
+// Init implements SigmaCandidate.
+func (c *TimeoutQuorum) Init(id, n int) {
+	c.id, c.n = id, n
+	c.lastSeen = make(map[int]int, n)
+	if c.Window <= 0 {
+		c.Window = 3
+	}
+}
+
+// Round implements SigmaCandidate.
+func (c *TimeoutQuorum) Round(k int, heard []int) []int {
+	for _, j := range heard {
+		c.lastSeen[j] = k
+	}
+	c.lastSeen[c.id] = k
+	var out []int
+	for j, last := range c.lastSeen {
+		if k-last < c.Window {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MajorityStick starts trusting everyone and drops a process only after
+// Silence consecutive unheard rounds, refusing to shrink below a majority
+// until forced (it then keeps the most recently heard majority — the
+// "quorums must intersect" instinct).
+type MajorityStick struct {
+	// Silence is the drop threshold in rounds; 0 defaults to 5.
+	Silence int
+
+	id, n    int
+	lastSeen map[int]int
+}
+
+var _ SigmaCandidate = (*MajorityStick)(nil)
+
+// Init implements SigmaCandidate.
+func (c *MajorityStick) Init(id, n int) {
+	c.id, c.n = id, n
+	c.lastSeen = make(map[int]int, n)
+	for j := 0; j < n; j++ {
+		c.lastSeen[j] = 0
+	}
+	if c.Silence <= 0 {
+		c.Silence = 5
+	}
+}
+
+// Round implements SigmaCandidate.
+func (c *MajorityStick) Round(k int, heard []int) []int {
+	for _, j := range heard {
+		c.lastSeen[j] = k
+	}
+	c.lastSeen[c.id] = k
+	type cand struct{ id, last int }
+	cands := make([]cand, 0, c.n)
+	for j, last := range c.lastSeen {
+		cands = append(cands, cand{id: j, last: last})
+	}
+	// Most recently heard first; self wins ties.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].last != cands[b].last {
+			return cands[a].last > cands[b].last
+		}
+		return cands[a].id == c.id
+	})
+	majority := c.n/2 + 1
+	var out []int
+	for _, cd := range cands {
+		if len(out) < majority || k-cd.last < c.Silence {
+			out = append(out, cd.id)
+		}
+	}
+	// Trim to those not silent too long once we are past the majority
+	// floor; keep at least self.
+	kept := out[:0]
+	for _, j := range out {
+		if j == c.id || k-c.lastSeen[j] < c.Silence || len(kept) < majority {
+			kept = append(kept, j)
+		}
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+// EagerSelf trusts only the processes heard this very round (plus itself):
+// the most aggressive candidate, converging fastest and dying fastest.
+type EagerSelf struct {
+	id, n int
+}
+
+var _ SigmaCandidate = (*EagerSelf)(nil)
+
+// Init implements SigmaCandidate.
+func (c *EagerSelf) Init(id, n int) { c.id, c.n = id, n }
+
+// Round implements SigmaCandidate.
+func (c *EagerSelf) Round(k int, heard []int) []int {
+	set := map[int]bool{c.id: true}
+	for _, j := range heard {
+		set[j] = true
+	}
+	out := make([]int, 0, len(set))
+	for j := range set {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,223 @@
+// Package giraf implements the paper's extension of the Generic Round-based
+// Algorithm Framework (GIRAF, Keidar & Shraer) for unknown and anonymous
+// networks — Algorithm 1 of the paper.
+//
+// A process is an I/O automaton instantiated with two non-blocking
+// functions, Initialize and Compute. The environment drives each process
+// through rounds by invoking end-of-round; at the k-th invocation the
+// process computes its round-k payload, adds it to its own round-(k+1)
+// inbox, advances to round k+1, and broadcasts its whole round-(k+1) inbox.
+// Receiving a broadcast merges the carried payload set into the local inbox
+// of the corresponding round.
+//
+// The anonymity extension: inboxes are *sets* of payloads, not arrays
+// indexed by sender. Two processes that broadcast structurally identical
+// payloads contribute a single element — processes are indistinguishable by
+// construction.
+package giraf
+
+import (
+	"fmt"
+	"sort"
+
+	"anonconsensus/internal/values"
+)
+
+// Payload is one automaton-produced message. Implementations must provide a
+// canonical key: two payloads are the same set element iff their keys are
+// equal. Payloads must be treated as immutable once returned by an
+// automaton.
+type Payload interface {
+	// PayloadKey returns the canonical structural encoding of the payload.
+	PayloadKey() string
+}
+
+// Decision is the outcome of a Compute step.
+type Decision struct {
+	// Decided is true when the automaton executed "decide v; halt".
+	Decided bool
+	// Value is the decided value; meaningful only when Decided.
+	Value values.Value
+}
+
+// Inbox is the read view of a process's received messages that Compute
+// receives (the M_i array of Algorithm 1).
+type Inbox interface {
+	// Round returns the deduplicated payload set received for round k, in
+	// canonical (key) order so automata iterate deterministically.
+	Round(k int) []Payload
+	// Fresh returns payloads delivered since the previous end-of-round, for
+	// any round, in arrival order (duplicates across calls never repeat).
+	// Algorithm 4 (weak-set) uses it to accumulate the union over all
+	// rounds' messages without rescanning.
+	Fresh() []Payload
+	// CurrentRound returns the round the process is currently in.
+	CurrentRound() int
+}
+
+// Automaton is the algorithm plugged into the framework: the initialize()
+// and compute() functions of Algorithm 1. Implementations are per-process
+// and need not be safe for concurrent use; the framework serializes calls.
+type Automaton interface {
+	// Initialize returns the process's round-1 payload (invoked at the first
+	// end-of-round, when k_i = 0).
+	Initialize() Payload
+	// Compute consumes the inbox for round k and returns the payload for
+	// round k+1 plus a possible decision. When the decision has Decided set,
+	// the process halts: the returned payload is discarded and nothing
+	// further is broadcast (Algorithm 2 line 10: "decide VAL; halt").
+	Compute(k int, inbox Inbox) (Payload, Decision)
+}
+
+// Envelope is a broadcast message ⟨M, k⟩: the sender's complete round-k
+// payload set at send time.
+type Envelope struct {
+	Round    int
+	Payloads []Payload
+}
+
+// Proc is the framework state of one process: its round number, inbox
+// array, and halted flag. Proc is not safe for concurrent use.
+type Proc struct {
+	aut      Automaton
+	round    int // k_i: number of end-of-round invocations so far
+	inbox    map[int]map[string]Payload
+	fresh    []Payload
+	halted   bool
+	decision Decision
+	lastOwn  Payload
+
+	// delivered counts payload-set merges that actually added something;
+	// exposed for metrics.
+	delivered int
+}
+
+var _ Inbox = (*Proc)(nil)
+
+// NewProc wraps an automaton in framework state.
+func NewProc(aut Automaton) *Proc {
+	return &Proc{
+		aut:   aut,
+		inbox: make(map[int]map[string]Payload),
+	}
+}
+
+// Round implements Inbox.
+func (p *Proc) Round(k int) []Payload {
+	set := p.inbox[k]
+	if len(set) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(set))
+	for key := range set {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]Payload, len(keys))
+	for i, key := range keys {
+		out[i] = set[key]
+	}
+	return out
+}
+
+// Fresh implements Inbox: payloads added to any round's set since the last
+// end-of-round.
+func (p *Proc) Fresh() []Payload { return p.fresh }
+
+// CurrentRound implements Inbox: the round the process is in (k_i).
+func (p *Proc) CurrentRound() int { return p.round }
+
+// Halted reports whether the process has decided and halted.
+func (p *Proc) Halted() bool { return p.halted }
+
+// Decision returns the process's decision (zero Decision if none yet).
+func (p *Proc) Decision() Decision { return p.decision }
+
+// Delivered returns the number of payload merges that added a new element,
+// for metrics.
+func (p *Proc) Delivered() int { return p.delivered }
+
+// Receive merges a broadcast envelope into the inbox (Algorithm 1 lines
+// 13–14: M_i[k] := M_i[k] ∪ M). Envelopes arriving after the process halted
+// are ignored.
+func (p *Proc) Receive(env Envelope) {
+	if p.halted {
+		return
+	}
+	p.merge(env.Round, env.Payloads)
+}
+
+func (p *Proc) merge(round int, payloads []Payload) {
+	set := p.inbox[round]
+	if set == nil {
+		set = make(map[string]Payload)
+		p.inbox[round] = set
+	}
+	for _, pay := range payloads {
+		key := pay.PayloadKey()
+		if _, ok := set[key]; ok {
+			continue
+		}
+		set[key] = pay
+		p.fresh = append(p.fresh, pay)
+		p.delivered++
+	}
+}
+
+// EndOfRound performs one end-of-round input action (Algorithm 1 lines
+// 5–12): run initialize/compute, add the produced payload to the next
+// round's inbox, advance the round, and return the broadcast envelope
+// ⟨M_i[k_i], k_i⟩. The second result is false when nothing is broadcast
+// (the process was already halted, or it decided during this step).
+func (p *Proc) EndOfRound() (Envelope, bool) {
+	if p.halted {
+		return Envelope{}, false
+	}
+	var pay Payload
+	if p.round == 0 {
+		pay = p.aut.Initialize()
+	} else {
+		var dec Decision
+		pay, dec = p.aut.Compute(p.round, p)
+		if dec.Decided {
+			p.halted = true
+			p.decision = dec
+			return Envelope{}, false
+		}
+	}
+	if pay == nil {
+		panic(fmt.Sprintf("giraf: automaton %T returned nil payload in round %d", p.aut, p.round))
+	}
+	p.fresh = nil // consumed by the Compute call that just ran
+	p.lastOwn = pay
+	p.merge(p.round+1, []Payload{pay})
+	p.round++
+	return Envelope{Round: p.round, Payloads: p.Round(p.round)}, true
+}
+
+// LastOwnPayload returns the payload the automaton produced at the most
+// recent end-of-round (the process's own round-CurrentRound message), or
+// nil before initialization. Environment checkers use it to test the
+// payload-containment form of timeliness (footnote 2 of the paper).
+func (p *Proc) LastOwnPayload() Payload { return p.lastOwn }
+
+// InboxSize returns the number of distinct payloads stored for round k,
+// for tests and metrics.
+func (p *Proc) InboxSize(k int) int { return len(p.inbox[k]) }
+
+// InboxRounds returns the number of rounds with stored payloads.
+func (p *Proc) InboxRounds() int { return len(p.inbox) }
+
+// CompactBefore drops all inbox rounds < k. Algorithms 2 and 3 only ever
+// read the current round, so drivers of long runs can compact to keep
+// memory flat. Late duplicate deliveries for a compacted round are then
+// indistinguishable from first deliveries (they reappear in Fresh), which
+// is harmless for union-style consumers like Algorithm 4 but means
+// compaction must not be combined with exactly-once delivery accounting.
+func (p *Proc) CompactBefore(k int) {
+	for round := range p.inbox {
+		if round < k {
+			delete(p.inbox, round)
+		}
+	}
+}

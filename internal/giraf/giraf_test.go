@@ -1,0 +1,179 @@
+package giraf
+
+import (
+	"testing"
+
+	"anonconsensus/internal/values"
+)
+
+// setPayload is a minimal payload for framework tests: a plain value set.
+type setPayload struct{ s values.Set }
+
+func (p setPayload) PayloadKey() string { return p.s.Key() }
+
+// echoAutomaton broadcasts its value every round and decides at a fixed
+// round, recording what it saw.
+type echoAutomaton struct {
+	v        values.Value
+	decideAt int
+	seen     []int // distinct payload count per computed round
+}
+
+func (a *echoAutomaton) Initialize() Payload {
+	return setPayload{values.NewSet(a.v)}
+}
+
+func (a *echoAutomaton) Compute(k int, in Inbox) (Payload, Decision) {
+	a.seen = append(a.seen, len(in.Round(k)))
+	if a.decideAt > 0 && k >= a.decideAt {
+		return nil, Decision{Decided: true, Value: a.v}
+	}
+	return setPayload{values.NewSet(a.v)}, Decision{}
+}
+
+func TestProcFirstEndOfRoundInitializes(t *testing.T) {
+	p := NewProc(&echoAutomaton{v: values.Num(1)})
+	env, ok := p.EndOfRound()
+	if !ok {
+		t.Fatal("first EndOfRound must broadcast")
+	}
+	if env.Round != 1 {
+		t.Errorf("round = %d, want 1", env.Round)
+	}
+	if len(env.Payloads) != 1 {
+		t.Fatalf("payloads = %d, want 1 (own initialize payload)", len(env.Payloads))
+	}
+	if p.CurrentRound() != 1 {
+		t.Errorf("CurrentRound = %d, want 1", p.CurrentRound())
+	}
+}
+
+func TestOwnPayloadInOwnInbox(t *testing.T) {
+	// Algorithm 1 line 10: the process's own payload lands in its own inbox.
+	p := NewProc(&echoAutomaton{v: values.Num(1)})
+	p.EndOfRound()
+	if p.InboxSize(1) != 1 {
+		t.Errorf("own round-1 inbox size = %d, want 1", p.InboxSize(1))
+	}
+}
+
+func TestAnonymityDedup(t *testing.T) {
+	// Identical payloads from different senders collapse to one element.
+	p := NewProc(&echoAutomaton{v: values.Num(1)})
+	p.EndOfRound()
+	same := setPayload{values.NewSet(values.Num(1))} // equals own payload
+	other := setPayload{values.NewSet(values.Num(2))}
+	p.Receive(Envelope{Round: 1, Payloads: []Payload{same}})
+	p.Receive(Envelope{Round: 1, Payloads: []Payload{same, other}})
+	if got := p.InboxSize(1); got != 2 {
+		t.Errorf("inbox size = %d, want 2 (dedup by payload key)", got)
+	}
+}
+
+func TestEnvelopeCarriesWholeInbox(t *testing.T) {
+	// Relaying: payloads received for round k+1 before the k-th end-of-round
+	// ride along in the process's own round-(k+1) broadcast.
+	p := NewProc(&echoAutomaton{v: values.Num(1)})
+	p.EndOfRound() // now in round 1
+	early := setPayload{values.NewSet(values.Num(9))}
+	p.Receive(Envelope{Round: 2, Payloads: []Payload{early}}) // future round
+	env, ok := p.EndOfRound()                                 // enter round 2
+	if !ok {
+		t.Fatal("EndOfRound must broadcast")
+	}
+	if env.Round != 2 || len(env.Payloads) != 2 {
+		t.Errorf("round-2 envelope = (%d, %d payloads), want (2, 2): own + relayed", env.Round, len(env.Payloads))
+	}
+}
+
+func TestHaltStopsBroadcasting(t *testing.T) {
+	p := NewProc(&echoAutomaton{v: values.Num(3), decideAt: 1})
+	p.EndOfRound() // init
+	if _, ok := p.EndOfRound(); ok {
+		t.Error("deciding step must not broadcast")
+	}
+	if !p.Halted() {
+		t.Fatal("process must be halted after decide")
+	}
+	d := p.Decision()
+	if !d.Decided || d.Value != values.Num(3) {
+		t.Errorf("decision = %+v", d)
+	}
+	if _, ok := p.EndOfRound(); ok {
+		t.Error("halted process must not broadcast")
+	}
+	// Receives after halt are ignored.
+	p.Receive(Envelope{Round: 1, Payloads: []Payload{setPayload{values.NewSet(values.Num(8))}}})
+	if p.InboxSize(1) != 1 { // still just its own round-1 payload
+		t.Error("halted process must ignore receives")
+	}
+}
+
+func TestFreshResetPerRound(t *testing.T) {
+	a := &echoAutomaton{v: values.Num(1)}
+	p := NewProc(a)
+	p.EndOfRound() // init; own payload merged → fresh contains it
+	if len(p.Fresh()) != 1 {
+		t.Fatalf("fresh after init = %d, want 1 (own payload)", len(p.Fresh()))
+	}
+	x := setPayload{values.NewSet(values.Num(7))}
+	p.Receive(Envelope{Round: 1, Payloads: []Payload{x}})
+	if len(p.Fresh()) != 2 {
+		t.Fatalf("fresh = %d, want 2", len(p.Fresh()))
+	}
+	p.EndOfRound() // consumes fresh, merges own round-2 payload
+	if len(p.Fresh()) != 1 {
+		t.Errorf("fresh after end-of-round = %d, want 1 (only new own payload)", len(p.Fresh()))
+	}
+}
+
+func TestRoundPayloadsDeterministicOrder(t *testing.T) {
+	p := NewProc(&echoAutomaton{v: values.Num(5)})
+	p.EndOfRound()
+	a := setPayload{values.NewSet(values.Num(1))}
+	b := setPayload{values.NewSet(values.Num(2))}
+	p.Receive(Envelope{Round: 1, Payloads: []Payload{b, a}})
+	got := p.Round(1)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].PayloadKey() >= got[i].PayloadKey() {
+			t.Fatal("Round must return payloads in canonical key order")
+		}
+	}
+}
+
+func TestNilPayloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil payload from automaton must panic")
+		}
+	}()
+	p := NewProc(nilAutomaton{})
+	p.EndOfRound()
+}
+
+type nilAutomaton struct{}
+
+func (nilAutomaton) Initialize() Payload                    { return nil }
+func (nilAutomaton) Compute(int, Inbox) (Payload, Decision) { return nil, Decision{} }
+
+func TestDeliveredAndLastOwnPayload(t *testing.T) {
+	p := NewProc(&echoAutomaton{v: values.Num(1)})
+	if p.LastOwnPayload() != nil {
+		t.Error("LastOwnPayload before init must be nil")
+	}
+	p.EndOfRound()
+	if p.Delivered() != 1 {
+		t.Errorf("Delivered = %d, want 1 (own payload)", p.Delivered())
+	}
+	own := p.LastOwnPayload()
+	if own == nil || own.PayloadKey() != (setPayload{values.NewSet(values.Num(1))}).PayloadKey() {
+		t.Errorf("LastOwnPayload = %v", own)
+	}
+	p.Receive(Envelope{Round: 1, Payloads: []Payload{setPayload{values.NewSet(values.Num(7))}}})
+	if p.Delivered() != 2 {
+		t.Errorf("Delivered = %d, want 2", p.Delivered())
+	}
+}

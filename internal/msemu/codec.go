@@ -1,0 +1,27 @@
+package msemu
+
+import (
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+// SetCodec serializes core.SetPayload (the wire payload of Algorithms 2 and
+// 4) for weak-set transport.
+type SetCodec struct{}
+
+var _ PayloadCodec = SetCodec{}
+
+// Encode implements PayloadCodec.
+func (SetCodec) Encode(p giraf.Payload) values.Value {
+	return values.EncodeSet(p.(core.SetPayload).Proposed)
+}
+
+// Decode implements PayloadCodec.
+func (SetCodec) Decode(v values.Value) (giraf.Payload, error) {
+	s, err := values.DecodeSet(v)
+	if err != nil {
+		return nil, err
+	}
+	return core.SetPayload{Proposed: s}, nil
+}

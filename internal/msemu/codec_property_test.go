@@ -1,0 +1,66 @@
+package msemu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+func TestQuickEnvelopeCodecRoundTrips(t *testing.T) {
+	f := func(round uint16, payloadSeeds [][]byte) bool {
+		env := giraf.Envelope{Round: int(round)}
+		if len(payloadSeeds) > 6 {
+			payloadSeeds = payloadSeeds[:6]
+		}
+		for _, seed := range payloadSeeds {
+			s := values.NewSet()
+			for _, b := range seed {
+				s.Add(values.Num(int64(b % 32)))
+			}
+			env.Payloads = append(env.Payloads, core.SetPayload{Proposed: s})
+		}
+		got, err := decodeEnvelope(SetCodec{}, encodeEnvelope(SetCodec{}, env))
+		if err != nil || got.Round != env.Round || len(got.Payloads) != len(env.Payloads) {
+			return false
+		}
+		for i := range env.Payloads {
+			if got.Payloads[i].PayloadKey() != env.Payloads[i].PayloadKey() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeEnvelopeNeverPanicsOnJunk(t *testing.T) {
+	f := func(junk []byte) bool {
+		// Must return an error or a valid envelope, never panic.
+		_, _ = decodeEnvelope(SetCodec{}, values.Value(junk))
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(32))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeEnvelopePrefixedJunk(t *testing.T) {
+	// Junk that passes the magic-prefix check must still be handled.
+	f := func(junk []byte) bool {
+		_, _ = decodeEnvelope(SetCodec{}, values.Value("envl!"+string(junk)))
+		_, _ = decodeEnvelope(SetCodec{}, values.Value("envl!3!"+string(junk)))
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(33))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package obstruction reproduces the related-work claim the paper cites as
+// [9] (Guerraoui & Ruppert): in anonymous shared-memory systems,
+// fault-tolerant *obstruction-free* consensus is solvable from registers
+// alone — no failure detector, no eventual source. Termination is
+// guaranteed only for a process that eventually runs long enough without
+// interference; safety (Validity + Agreement) is unconditional.
+//
+// The construction is the classical round-based one, assembled from this
+// repository's own substrate:
+//
+//   - an *adopt-commit* object per round, built from two linearizable
+//     weak-sets (package weakset; in a known network those come from
+//     registers via Propositions 2–3, closing the loop to "registers
+//     alone");
+//   - a consensus loop: propose the current estimate to round r's
+//     adopt-commit; on commit decide, on adopt carry the value to round
+//     r+1. A solo run finds an uncontended round and commits.
+//
+// Anonymity is inherited from the weak-set: processes never exchange
+// identities, and identical operations by identical processes collapse.
+package obstruction
+
+import (
+	"fmt"
+	"sync"
+
+	"anonconsensus/internal/values"
+	"anonconsensus/internal/weakset"
+)
+
+// Outcome is the result of one adopt-commit invocation.
+type Outcome struct {
+	// Commit is true when the value may be decided immediately.
+	Commit bool
+	// Value is the adopted or committed value.
+	Value values.Value
+}
+
+// AdoptCommit is a single-use anonymous agreement-adapter object with the
+// classical specification:
+//
+//	validity     — outputs were somebody's input;
+//	convergence  — if all inputs equal v, every output is (commit, v);
+//	coherence    — if any output is (commit, v), every output's value is v.
+//
+// It requires *linearizable* weak-sets (weakset.Memory, or register-backed
+// ones whose registers are atomic): with merely "weak" weak-sets two
+// concurrent proposers could both see themselves alone. Safe for
+// concurrent use.
+type AdoptCommit struct {
+	proposals weakset.WeakSet // phase 1: raw values
+	flagged   weakset.WeakSet // phase 2: (clean?, value) pairs
+}
+
+// NewAdoptCommit builds the object over two fresh in-memory weak-sets.
+func NewAdoptCommit() *AdoptCommit {
+	return &AdoptCommit{proposals: &weakset.Memory{}, flagged: &weakset.Memory{}}
+}
+
+// NewAdoptCommitOver builds the object over caller-provided weak-sets
+// (which must be linearizable and dedicated to this object).
+func NewAdoptCommitOver(proposals, flagged weakset.WeakSet) *AdoptCommit {
+	if proposals == nil || flagged == nil {
+		panic("obstruction.NewAdoptCommitOver: nil weak-set")
+	}
+	return &AdoptCommit{proposals: proposals, flagged: flagged}
+}
+
+// pair encoding for the phase-2 weak-set: rank 1 = clean, 0 = dirty.
+const (
+	dirtyRank = 0
+	cleanRank = 1
+)
+
+// Propose runs the two phases and returns the outcome.
+func (ac *AdoptCommit) Propose(v values.Value) (Outcome, error) {
+	if !v.Valid() {
+		return Outcome{}, fmt.Errorf("obstruction: invalid proposal %q", string(v))
+	}
+	// Phase 1: announce, then check for contention. Linearizability of the
+	// weak-set guarantees at most one proposer can see itself alone among
+	// distinct values (see the coherence argument in the package tests).
+	if err := ac.proposals.Add(v); err != nil {
+		return Outcome{}, fmt.Errorf("obstruction: phase-1 add: %w", err)
+	}
+	seen, err := ac.proposals.Get()
+	if err != nil {
+		return Outcome{}, fmt.Errorf("obstruction: phase-1 get: %w", err)
+	}
+	rank := dirtyRank
+	if seen.IsExactly(v) {
+		rank = cleanRank
+	}
+	// Phase 2: publish the flagged value, then resolve.
+	if err := ac.flagged.Add(values.EncodePair(rank, v)); err != nil {
+		return Outcome{}, fmt.Errorf("obstruction: phase-2 add: %w", err)
+	}
+	flags, err := ac.flagged.Get()
+	if err != nil {
+		return Outcome{}, fmt.Errorf("obstruction: phase-2 get: %w", err)
+	}
+	var (
+		cleanVal   values.Value
+		cleanFound bool
+		allCleanV  = true
+	)
+	for _, raw := range flags.Sorted() {
+		r, val, err := values.DecodePair(raw)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("obstruction: corrupt phase-2 element: %w", err)
+		}
+		if r == cleanRank {
+			if cleanFound && cleanVal != val {
+				return Outcome{}, fmt.Errorf("obstruction: two distinct clean values %v and %v — the weak-sets are not linearizable", cleanVal, val)
+			}
+			cleanVal, cleanFound = val, true
+		}
+		if val != v || r != cleanRank {
+			allCleanV = false
+		}
+	}
+	switch {
+	case allCleanV:
+		// Everything visible is (clean, v): commit.
+		return Outcome{Commit: true, Value: v}, nil
+	case cleanFound:
+		// Coherence: a committer's value is the unique clean one; adopt it.
+		return Outcome{Commit: false, Value: cleanVal}, nil
+	default:
+		return Outcome{Commit: false, Value: v}, nil
+	}
+}
+
+// Consensus is anonymous obstruction-free consensus: a sequence of
+// adopt-commit rounds over a shared lazily-allocated round table. Safe for
+// concurrent use by any number of anonymous proposers.
+type Consensus struct {
+	mu      sync.Mutex
+	rounds  map[int]*AdoptCommit
+	decided bool
+	value   values.Value
+}
+
+// NewConsensus returns a fresh instance.
+func NewConsensus() *Consensus {
+	return &Consensus{rounds: make(map[int]*AdoptCommit)}
+}
+
+// round returns (allocating if needed) the adopt-commit object of round r.
+func (c *Consensus) round(r int) *AdoptCommit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ac, ok := c.rounds[r]
+	if !ok {
+		ac = NewAdoptCommit()
+		c.rounds[r] = ac
+	}
+	return ac
+}
+
+// markDecided records a decision (idempotent; coherence guarantees all
+// recorded decisions carry the same value).
+func (c *Consensus) markDecided(v values.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decided = true
+	c.value = v
+}
+
+// Decided reports whether some proposer has decided, and the value.
+func (c *Consensus) Decided() (values.Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value, c.decided
+}
+
+// Propose drives one proposer. It returns the decision, or ok=false when
+// maxRounds adopt-commit rounds all stayed contended (the obstruction-free
+// non-guarantee: under perpetual contention the loop may not terminate).
+// Calling Propose again resumes at later rounds and remains safe.
+func (c *Consensus) Propose(v values.Value, maxRounds int) (values.Value, bool, error) {
+	if !v.Valid() {
+		return "", false, fmt.Errorf("obstruction: invalid proposal %q", string(v))
+	}
+	if maxRounds <= 0 {
+		return "", false, fmt.Errorf("obstruction: maxRounds = %d", maxRounds)
+	}
+	est := v
+	for r := 1; r <= maxRounds; r++ {
+		out, err := c.round(r).Propose(est)
+		if err != nil {
+			return "", false, err
+		}
+		est = out.Value
+		if out.Commit {
+			c.markDecided(est)
+			return est, true, nil
+		}
+	}
+	return "", false, nil
+}

@@ -1,0 +1,294 @@
+package obstruction
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"anonconsensus/internal/values"
+)
+
+func TestAdoptCommitSolo(t *testing.T) {
+	ac := NewAdoptCommit()
+	out, err := ac.Propose(values.Num(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Commit || out.Value != values.Num(7) {
+		t.Errorf("solo propose = %+v, want commit 7", out)
+	}
+}
+
+func TestAdoptCommitConvergence(t *testing.T) {
+	// All inputs equal ⇒ everyone commits, even concurrently (identical
+	// anonymous operations collapse in the weak-set).
+	ac := NewAdoptCommit()
+	var wg sync.WaitGroup
+	outs := make([]Outcome, 8)
+	for i := range outs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := ac.Propose(values.Num(3))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[i] = out
+		}()
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if !out.Commit || out.Value != values.Num(3) {
+			t.Errorf("proposer %d: %+v, want commit 3", i, out)
+		}
+	}
+}
+
+func TestAdoptCommitCoherence(t *testing.T) {
+	// Sequential contention: the second proposer must adopt the first's
+	// committed value.
+	ac := NewAdoptCommit()
+	first, err := ac.Propose(values.Num(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Commit {
+		t.Fatal("solo first proposer must commit")
+	}
+	second, err := ac.Propose(values.Num(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Commit && second.Value != values.Num(1) {
+		t.Errorf("second proposer committed %v against committed 1", second.Value)
+	}
+	if second.Value != values.Num(1) {
+		t.Errorf("second proposer output %v, must carry the committed 1", second.Value)
+	}
+}
+
+func TestAdoptCommitCoherenceConcurrent(t *testing.T) {
+	// Stress the coherence property: whenever someone commits v, every
+	// output value is v. Repeat across many racy trials.
+	for trial := 0; trial < 200; trial++ {
+		ac := NewAdoptCommit()
+		const p = 4
+		outs := make([]Outcome, p)
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, err := ac.Propose(values.Num(int64(i % 2)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				outs[i] = out
+			}()
+		}
+		wg.Wait()
+		var committed values.Value
+		hasCommit := false
+		for _, out := range outs {
+			if out.Commit {
+				if hasCommit && committed != out.Value {
+					t.Fatalf("trial %d: two commits %v and %v", trial, committed, out.Value)
+				}
+				committed, hasCommit = out.Value, true
+			}
+		}
+		if hasCommit {
+			for i, out := range outs {
+				if out.Value != committed {
+					t.Fatalf("trial %d: proposer %d output %v against committed %v",
+						trial, i, out.Value, committed)
+				}
+			}
+		}
+	}
+}
+
+func TestAdoptCommitValidity(t *testing.T) {
+	ac := NewAdoptCommit()
+	inputs := values.NewSet(values.Num(1), values.Num(2), values.Num(3))
+	var wg sync.WaitGroup
+	outs := make([]Outcome, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := ac.Propose(values.Num(int64(i + 1)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[i] = out
+		}()
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if !inputs.Contains(out.Value) {
+			t.Errorf("proposer %d output non-input %v", i, out.Value)
+		}
+	}
+}
+
+func TestAdoptCommitRejectsInvalid(t *testing.T) {
+	ac := NewAdoptCommit()
+	if _, err := ac.Propose(values.Bot); err == nil {
+		t.Error("⊥ proposal accepted")
+	}
+}
+
+func TestConsensusSolo(t *testing.T) {
+	c := NewConsensus()
+	v, ok, err := c.Propose(values.Num(9), 10)
+	if err != nil || !ok || v != values.Num(9) {
+		t.Fatalf("solo propose = %v,%v,%v", v, ok, err)
+	}
+	if got, decided := c.Decided(); !decided || got != values.Num(9) {
+		t.Errorf("Decided = %v,%v", got, decided)
+	}
+}
+
+func TestConsensusSequentialAgree(t *testing.T) {
+	c := NewConsensus()
+	first, ok, err := c.Propose(values.Num(5), 10)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	second, ok, err := c.Propose(values.Num(6), 10)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("sequential proposers disagree: %v vs %v", first, second)
+	}
+}
+
+func TestConsensusConcurrentSafety(t *testing.T) {
+	// Concurrent anonymous proposers with random jitter: termination is
+	// only obstruction-free (a proposer may exhaust its rounds under
+	// contention) but every decision must agree and be valid.
+	for trial := 0; trial < 50; trial++ {
+		c := NewConsensus()
+		const p = 4
+		rng := rand.New(rand.NewSource(int64(trial)))
+		jitter := make([]time.Duration, p)
+		for i := range jitter {
+			jitter[i] = time.Duration(rng.Intn(200)) * time.Microsecond
+		}
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			decisions = values.NewSet()
+		)
+		for i := 0; i < p; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(jitter[i])
+				v, ok, err := c.Propose(values.Num(int64(10+i)), 50)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					mu.Lock()
+					decisions.Add(v)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if decisions.Len() > 1 {
+			t.Fatalf("trial %d: agreement violated: %v", trial, decisions)
+		}
+		if v, ok := decisions.Max(); ok {
+			if n, err := values.NumOf(v); err != nil || n < 10 || n >= 10+p {
+				t.Fatalf("trial %d: invalid decision %v", trial, v)
+			}
+		}
+	}
+}
+
+func TestConsensusEventualTerminationWithBackoff(t *testing.T) {
+	// With proposers retrying under randomized backoff, some solo window
+	// appears and everyone converges (the practical obstruction-freedom
+	// story). Retry Propose until decided.
+	c := NewConsensus()
+	const p = 3
+	var wg sync.WaitGroup
+	decided := make([]values.Value, p)
+	for i := 0; i < p; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for attempt := 0; ; attempt++ {
+				if v, ok := c.Decided(); ok {
+					decided[i] = v
+					return
+				}
+				v, ok, err := c.Propose(values.Num(int64(100+i)), 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					decided[i] = v
+					return
+				}
+				time.Sleep(time.Duration(rng.Intn(1<<uint(minInt(attempt, 8)))) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < p; i++ {
+		if decided[i] != decided[0] {
+			t.Fatalf("disagreement: %v", decided)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestConsensusValidation(t *testing.T) {
+	c := NewConsensus()
+	if _, _, err := c.Propose(values.Bot, 5); err == nil {
+		t.Error("⊥ accepted")
+	}
+	if _, _, err := c.Propose(values.Num(1), 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestNewAdoptCommitOverNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil weak-set must panic")
+		}
+	}()
+	NewAdoptCommitOver(nil, nil)
+}
+
+func ExampleConsensus() {
+	c := NewConsensus()
+	v, ok, _ := c.Propose(values.Num(42), 10)
+	fmt.Println(v, ok)
+	// Output: 000000000042 true
+}

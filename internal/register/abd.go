@@ -1,0 +1,238 @@
+package register
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonconsensus/internal/values"
+)
+
+// tag orders ABD writes: lexicographic on (seq, writer).
+type tag struct {
+	seq    int64
+	writer int
+}
+
+func (t tag) less(u tag) bool {
+	if t.seq != u.seq {
+		return t.seq < u.seq
+	}
+	return t.writer < u.writer
+}
+
+// abdOp distinguishes replica requests.
+type abdOp int
+
+const (
+	abdQuery abdOp = iota + 1 // phase 1: report current (tag, value)
+	abdStore                  // phase 2: adopt (tag, value) if newer
+)
+
+type abdRequest struct {
+	op    abdOp
+	tag   tag
+	val   values.Value
+	reply chan abdReply
+}
+
+type abdReply struct {
+	tag tag
+	val values.Value
+}
+
+// ABD is the Attiya–Bar-Noy–Dolev atomic register emulation: n replica
+// goroutines with known IDs connected by asynchronous channels; every
+// operation completes after hearing from a majority, so it tolerates
+// ⌈n/2⌉−1 replica crashes. This is the paper's reference [2] — the
+// known-network substrate that (via weak-sets, Props. 2–3, and Algorithm 5)
+// emulates the whole MS environment and thereby imports the FLP
+// impossibility into MS.
+//
+// ABD is safe for concurrent use by any number of client goroutines.
+type ABD struct {
+	n        int
+	replicas []chan abdRequest
+	crashed  []atomic.Bool
+	delay    func(replica int) time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ Register = (*ABD)(nil)
+
+// ABDOption configures the cluster.
+type ABDOption func(*ABD)
+
+// WithDelay installs a per-replica artificial network delay, applied to
+// every request to that replica (both phases).
+func WithDelay(f func(replica int) time.Duration) ABDOption {
+	return func(a *ABD) { a.delay = f }
+}
+
+// NewABD starts a cluster of n replicas. Call Close to stop them.
+func NewABD(n int, opts ...ABDOption) *ABD {
+	if n < 1 {
+		panic(fmt.Sprintf("register.NewABD: n = %d", n))
+	}
+	a := &ABD{
+		n:        n,
+		replicas: make([]chan abdRequest, n),
+		crashed:  make([]atomic.Bool, n),
+		stop:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	for i := 0; i < n; i++ {
+		a.replicas[i] = make(chan abdRequest)
+		a.wg.Add(1)
+		go a.replica(i)
+	}
+	return a
+}
+
+// replica is the server loop: a trivial state machine holding the highest
+// (tag, value) seen.
+func (a *ABD) replica(id int) {
+	defer a.wg.Done()
+	var (
+		cur tag
+		val values.Value
+	)
+	for {
+		select {
+		case <-a.stop:
+			return
+		case req := <-a.replicas[id]:
+			if a.crashed[id].Load() {
+				continue // a crashed replica goes silent
+			}
+			if a.delay != nil {
+				if d := a.delay(id); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			switch req.op {
+			case abdQuery:
+			case abdStore:
+				if cur.less(req.tag) {
+					cur, val = req.tag, req.val
+				}
+			}
+			req.reply <- abdReply{tag: cur, val: val}
+		}
+	}
+}
+
+// Crash silences replica id (it keeps draining requests without replying).
+func (a *ABD) Crash(id int) {
+	if id < 0 || id >= a.n {
+		panic(fmt.Sprintf("register: crash of unknown replica %d", id))
+	}
+	a.crashed[id].Store(true)
+}
+
+// Close stops all replica goroutines. Operations in flight may fail to
+// gather a majority and hang; close only after client goroutines are done.
+func (a *ABD) Close() {
+	close(a.stop)
+	a.wg.Wait()
+}
+
+// majority returns the quorum size ⌊n/2⌋+1.
+func (a *ABD) majority() int { return a.n/2 + 1 }
+
+// broadcast sends req to every replica and returns the first quorum of
+// replies.
+func (a *ABD) broadcast(op abdOp, t tag, v values.Value) []abdReply {
+	replyCh := make(chan abdReply, a.n)
+	for i := 0; i < a.n; i++ {
+		i := i
+		go func() {
+			req := abdRequest{op: op, tag: t, val: v, reply: replyCh}
+			select {
+			case a.replicas[i] <- req:
+			case <-a.stop:
+			}
+		}()
+	}
+	replies := make([]abdReply, 0, a.majority())
+	for len(replies) < a.majority() {
+		select {
+		case r := <-replyCh:
+			replies = append(replies, r)
+		case <-a.stop:
+			return replies
+		}
+	}
+	return replies
+}
+
+// maxReply returns the highest-tagged reply.
+func maxReply(replies []abdReply) abdReply {
+	best := replies[0]
+	for _, r := range replies[1:] {
+		if best.tag.less(r.tag) {
+			best = r
+		}
+	}
+	return best
+}
+
+// Writer returns a client handle with the given writer ID. Tags are
+// (sequence, writer) pairs, so distinct writers always produce distinct
+// tags — the classical MWMR construction. A single handle must not be used
+// by two goroutines writing concurrently (one logical writer per ID).
+func (a *ABD) Writer(id int) *ABDClient { return &ABDClient{a: a, id: id} }
+
+// ABDClient is a per-writer front-end to the cluster.
+type ABDClient struct {
+	a  *ABD
+	id int
+}
+
+var _ Register = (*ABDClient)(nil)
+
+// Write implements Register: query a majority for the highest tag, then
+// store (highest+1, writer) at a majority.
+func (c *ABDClient) Write(v values.Value) error {
+	a := c.a
+	replies := a.broadcast(abdQuery, tag{}, "")
+	if len(replies) < a.majority() {
+		return fmt.Errorf("register: ABD write lost quorum (cluster closing)")
+	}
+	highest := maxReply(replies).tag
+	st := a.broadcast(abdStore, tag{seq: highest.seq + 1, writer: c.id}, v)
+	if len(st) < a.majority() {
+		return fmt.Errorf("register: ABD write lost quorum (cluster closing)")
+	}
+	return nil
+}
+
+// Read implements Register via the cluster's Read.
+func (c *ABDClient) Read() (values.Value, error) { return c.a.Read() }
+
+// Write implements Register using writer ID 0; use Writer for distinct
+// concurrent writers.
+func (a *ABD) Write(v values.Value) error {
+	return a.Writer(0).Write(v)
+}
+
+// Read implements Register: query a majority, then write back the highest
+// (tag, value) to a majority before returning it (the read-repair phase
+// that makes ABD atomic rather than merely regular).
+func (a *ABD) Read() (values.Value, error) {
+	replies := a.broadcast(abdQuery, tag{}, "")
+	if len(replies) < a.majority() {
+		return "", fmt.Errorf("register: ABD read lost quorum (cluster closing)")
+	}
+	best := maxReply(replies)
+	wb := a.broadcast(abdStore, best.tag, best.val)
+	if len(wb) < a.majority() {
+		return "", fmt.Errorf("register: ABD read lost quorum (cluster closing)")
+	}
+	return best.val, nil
+}

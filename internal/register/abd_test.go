@@ -1,0 +1,250 @@
+package register
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"anonconsensus/internal/values"
+)
+
+func TestABDSingleClient(t *testing.T) {
+	a := NewABD(3)
+	defer a.Close()
+
+	v, err := a.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "" {
+		t.Errorf("unwritten register read %v", v)
+	}
+	if err := a.Write(values.Num(7)); err != nil {
+		t.Fatal(err)
+	}
+	v, err = a.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != values.Num(7) {
+		t.Errorf("read %v, want 7", v)
+	}
+}
+
+func TestABDSurvivesMinorityCrash(t *testing.T) {
+	a := NewABD(5)
+	defer a.Close()
+	if err := a.Write(values.Num(1)); err != nil {
+		t.Fatal(err)
+	}
+	a.Crash(0)
+	a.Crash(1)
+	if err := a.Write(values.Num(2)); err != nil {
+		t.Fatalf("write with minority crashed: %v", err)
+	}
+	v, err := a.Read()
+	if err != nil {
+		t.Fatalf("read with minority crashed: %v", err)
+	}
+	if v != values.Num(2) {
+		t.Errorf("read %v, want 2", v)
+	}
+}
+
+func TestABDMonotoneReads(t *testing.T) {
+	// Atomicity implies no new/old inversion for sequential reads: once a
+	// read returns a newer value, later reads never return an older one.
+	a := NewABD(3)
+	defer a.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := a.Writer(1)
+		for i := int64(1); i <= 20; i++ {
+			if err := w.Write(values.Num(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	last := int64(-1)
+	for j := 0; j < 50; j++ {
+		v, err := a.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == "" {
+			continue
+		}
+		n, err := values.NumOf(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < last {
+			t.Fatalf("read regression: %d after %d", n, last)
+		}
+		last = n
+	}
+	wg.Wait()
+}
+
+func TestABDConcurrentWritersLinearizable(t *testing.T) {
+	a := NewABD(5, WithDelay(func(r int) time.Duration {
+		return time.Duration(rand.Intn(200)) * time.Microsecond
+	}))
+	defer a.Close()
+	h := NewHistory()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reg := h.Instrument(a.Writer(w + 1))
+			for i := 0; i < 4; i++ {
+				if err := reg.Write(values.Num(int64(10*w + i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reg := h.Instrument(a)
+			for i := 0; i < 6; i++ {
+				if _, err := reg.Read(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := CheckLinearizable(h.Ops()); err != nil {
+		t.Fatalf("%v\nhistory: %+v", err, h.Ops())
+	}
+}
+
+func TestMemoryRegisterLinearizable(t *testing.T) {
+	var m Memory
+	h := NewHistory()
+	reg := h.Instrument(&m)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if i%2 == 0 {
+					_ = reg.Write(values.Num(int64(i*10 + j)))
+				} else {
+					_, _ = reg.Read()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := CheckLinearizable(h.Ops()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckLinearizableDetectsViolations(t *testing.T) {
+	tests := []struct {
+		name string
+		ops  []HistOp
+		want bool // linearizable?
+	}{
+		{
+			name: "read of unwritten value",
+			ops: []HistOp{
+				{IsWrite: true, Value: values.Num(1), Start: 0, End: 1},
+				{IsWrite: false, Value: values.Num(9), Start: 2, End: 3},
+			},
+			want: false,
+		},
+		{
+			name: "stale read after newer write",
+			ops: []HistOp{
+				{IsWrite: true, Value: values.Num(1), Start: 0, End: 1},
+				{IsWrite: true, Value: values.Num(2), Start: 2, End: 3},
+				{IsWrite: false, Value: values.Num(1), Start: 4, End: 5},
+			},
+			want: false,
+		},
+		{
+			name: "concurrent write may be seen either way",
+			ops: []HistOp{
+				{IsWrite: true, Value: values.Num(1), Start: 0, End: 10},
+				{IsWrite: false, Value: values.Num(1), Start: 2, End: 3},
+			},
+			want: true,
+		},
+		{
+			name: "empty read before any write",
+			ops: []HistOp{
+				{IsWrite: false, Value: "", Start: 0, End: 1},
+				{IsWrite: true, Value: values.Num(1), Start: 2, End: 3},
+			},
+			want: true,
+		},
+		{
+			name: "new old inversion",
+			ops: []HistOp{
+				{IsWrite: true, Value: values.Num(1), Start: 0, End: 1},
+				{IsWrite: true, Value: values.Num(2), Start: 2, End: 3},
+				{IsWrite: false, Value: values.Num(2), Start: 4, End: 5},
+				{IsWrite: false, Value: values.Num(1), Start: 6, End: 7},
+			},
+			want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := CheckLinearizable(tt.ops)
+			if got := err == nil; got != tt.want {
+				t.Errorf("linearizable = %v (%v), want %v", got, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckRegular(t *testing.T) {
+	good := []HistOp{
+		{IsWrite: true, Value: values.Num(1), Start: 0, End: 2},
+		{IsWrite: false, Value: values.Num(1), Start: 3, End: 4},
+	}
+	if err := CheckRegular(good); err != nil {
+		t.Error(err)
+	}
+	phantom := []HistOp{
+		{IsWrite: false, Value: values.Num(5), Start: 3, End: 4},
+	}
+	if err := CheckRegular(phantom); err == nil {
+		t.Error("phantom read must fail regularity")
+	}
+	emptyAfterWrite := []HistOp{
+		{IsWrite: true, Value: values.Num(1), Start: 0, End: 1},
+		{IsWrite: false, Value: "", Start: 5, End: 6},
+	}
+	if err := CheckRegular(emptyAfterWrite); err == nil {
+		t.Error("empty read after completed write must fail regularity")
+	}
+}
+
+func ExampleABD() {
+	a := NewABD(3)
+	defer a.Close()
+	_ = a.Write(values.Num(42))
+	v, _ := a.Read()
+	fmt.Println(v)
+	// Output: 000000000042
+}

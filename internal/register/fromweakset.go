@@ -1,0 +1,66 @@
+package register
+
+import (
+	"fmt"
+
+	"anonconsensus/internal/values"
+	"anonconsensus/internal/weakset"
+)
+
+// FromWeakSet is Proposition 1: a regular multi-writer multi-reader
+// register built from a weak-set.
+//
+// Write(v) reads the weak-set content H and adds the pair (v, |H|); Read
+// returns the highest value among the pairs with maximal |H| ("maximal
+// history length" in the paper). The register is regular, not atomic: two
+// reads concurrent with the same set of writes may disagree, but once all
+// writes complete every read returns the same value.
+//
+// Each process should use its own FromWeakSet front-end over the shared
+// weak-set; the type itself is stateless and safe for concurrent use if the
+// underlying weak-set is.
+type FromWeakSet struct {
+	s weakset.WeakSet
+}
+
+var _ Register = (*FromWeakSet)(nil)
+
+// NewFromWeakSet wraps the shared weak-set s as a register.
+func NewFromWeakSet(s weakset.WeakSet) *FromWeakSet {
+	if s == nil {
+		panic("register.NewFromWeakSet: nil weak-set")
+	}
+	return &FromWeakSet{s: s}
+}
+
+// Write implements Register: add (v, |current content|) to the weak-set.
+func (r *FromWeakSet) Write(v values.Value) error {
+	h, err := r.s.Get()
+	if err != nil {
+		return fmt.Errorf("register: reading weak-set before write: %w", err)
+	}
+	if err := r.s.Add(values.EncodePair(h.Len(), v)); err != nil {
+		return fmt.Errorf("register: adding to weak-set: %w", err)
+	}
+	return nil
+}
+
+// Read implements Register: return the maximal value among pairs with
+// maximal rank. Returns the empty Value if nothing was written yet.
+func (r *FromWeakSet) Read() (values.Value, error) {
+	h, err := r.s.Get()
+	if err != nil {
+		return "", fmt.Errorf("register: reading weak-set: %w", err)
+	}
+	// EncodePair's string order is (rank, value) lexicographic, so the
+	// set's maximum is exactly the paper's resolution rule.
+	best, ok := h.Max()
+	if !ok {
+		return "", nil
+	}
+	_, v, err := values.DecodePair(best)
+	if err != nil {
+		return "", fmt.Errorf("register: weak-set contains a non-pair element: %w", err)
+	}
+	return v, nil
+}

@@ -1,0 +1,129 @@
+package register
+
+import (
+	"sync"
+	"testing"
+
+	"anonconsensus/internal/values"
+	"anonconsensus/internal/weakset"
+)
+
+func TestFromWeakSetSequential(t *testing.T) {
+	var ws weakset.Memory
+	r := NewFromWeakSet(&ws)
+
+	v, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "" {
+		t.Errorf("unwritten register read %v", v)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := r.Write(values.Num(i)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != values.Num(i) {
+			t.Fatalf("after write %d read %v", i, got)
+		}
+	}
+}
+
+func TestFromWeakSetOverwriteSemantics(t *testing.T) {
+	// Later writes supersede earlier ones even with a smaller value: rank
+	// (history length) dominates.
+	var ws weakset.Memory
+	r := NewFromWeakSet(&ws)
+	if err := r.Write(values.Num(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(values.Num(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != values.Num(1) {
+		t.Errorf("read %v, want the later write 1", got)
+	}
+}
+
+func TestFromWeakSetConcurrentWritesConvergeToRegular(t *testing.T) {
+	// Proposition 1's validity: reads concurrent with writes may disagree,
+	// but after all writes complete every reader sees the same value, and
+	// the whole history is regular.
+	var ws weakset.Memory
+	h := NewHistory()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reg := h.Instrument(NewFromWeakSet(&ws))
+			for i := 0; i < 3; i++ {
+				if err := reg.Write(values.Num(int64(10*w + i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := reg.Read(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := CheckRegular(h.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	// Post-quiescence agreement.
+	a, err := NewFromWeakSet(&ws).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFromWeakSet(&ws).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("quiescent readers disagree: %v vs %v", a, b)
+	}
+}
+
+func TestFromWeakSetOverABD(t *testing.T) {
+	// Full stack: ABD registers → Prop. 3 weak-set → Prop. 1 register.
+	domain := []values.Value{values.Num(100), values.Num(101)}
+	// The weak-set stores (value, rank) pairs, so its domain is pairs; use
+	// Prop. 2 instead, whose domain is unconstrained.
+	_ = domain
+	cluster := NewABD(3)
+	defer cluster.Close()
+	slots := []weakset.Slot{cluster.Writer(0), &Memory{}}
+	ws := weakset.NewFromSWMR(slots)
+	r := NewFromWeakSet(ws.Handle(0))
+	if err := r.Write(values.Num(5)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != values.Num(5) {
+		t.Errorf("read %v, want 5", got)
+	}
+}
+
+func TestNewFromWeakSetNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil weak-set must panic")
+		}
+	}()
+	NewFromWeakSet(nil)
+}

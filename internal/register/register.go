@@ -1,0 +1,54 @@
+// Package register provides the register abstractions the paper relates to
+// weak-sets, plus the classical substrate for "known" networks:
+//
+//   - Register: the shared-register ADT;
+//   - Memory: an atomic in-memory register;
+//   - FromWeakSet: Proposition 1 — a regular multi-writer multi-reader
+//     register built from a weak-set;
+//   - ABD: the Attiya–Bar-Noy–Dolev majority-quorum atomic register
+//     emulation over an asynchronous message-passing cluster with known IDs
+//     (the paper's reference [2], which grounds the FLP corollary: the MS
+//     environment is emulatable from registers, hence cannot solve
+//     consensus);
+//   - checkers for regularity and linearizability of recorded histories.
+package register
+
+import (
+	"sync"
+
+	"anonconsensus/internal/values"
+)
+
+// Register is a multi-writer multi-reader shared register holding one
+// Value. Implementations state whether they are atomic or merely regular.
+type Register interface {
+	// Write stores v, returning once the write has taken effect.
+	Write(v values.Value) error
+	// Read returns the register's value. An empty Value means "never
+	// written".
+	Read() (values.Value, error)
+}
+
+// Memory is an atomic in-memory register. The zero value is an unwritten
+// register ready for use.
+type Memory struct {
+	mu  sync.Mutex
+	val values.Value
+}
+
+var _ Register = (*Memory)(nil)
+
+// Write implements Register.
+func (m *Memory) Write(v values.Value) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.val = v
+	return nil
+}
+
+// Read implements Register.
+func (m *Memory) Read() (values.Value, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.val, nil
+}

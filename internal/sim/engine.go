@@ -1,0 +1,402 @@
+// Package sim is the deterministic round simulator for GIRAF automata.
+//
+// The engine advances all processes in lockstep: at global step k every
+// alive, non-halted process executes its end-of-round, which computes round
+// k and broadcasts its round-(k+1) envelope. An environment Policy assigns
+// every (sender, receiver) pair of every round a delivery delay measured in
+// rounds: delay 0 means the envelope is delivered within the receiver's
+// matching round (a *timely* link, the paper's §2.3), delay d > 0 means it
+// arrives d rounds late — still reliably, just not on time.
+//
+// The three environments of the paper (MS, ES, ESS) plus fully synchronous,
+// fully asynchronous and adversarial policies are provided in policy.go. A
+// recorded Trace can be validated against the formal environment
+// definitions by the checkers in checker.go, so tests never have to trust a
+// policy's self-description.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Automaton builds the automaton for process i. Processes are anonymous:
+	// the index is a simulator-level handle only and must not leak into
+	// payloads.
+	Automaton func(i int) giraf.Automaton
+	// Policy is the environment: it schedules delivery delays.
+	Policy Policy
+	// Crashes maps process index to the global step at which it crashes:
+	// the process does not execute its end-of-round at that step or later.
+	// Crash step 0 means the process never even initializes.
+	Crashes map[int]int
+	// MaxRounds bounds the run; the engine stops after this many global
+	// steps even if processes are still undecided.
+	MaxRounds int
+	// RecordTrace enables delivery recording for the environment checkers.
+	RecordTrace bool
+	// OnRound, if non-nil, runs after every global step with the step
+	// number; use it to sample custom per-round metrics.
+	OnRound func(round int, e *Engine)
+	// CompactInboxes drops inbox rounds older than the previous round after
+	// every step, keeping memory flat on long runs. Only valid for automata
+	// that read just the current round (Algorithms 2 and 3 — not
+	// Algorithm 4, whose Fresh-based union relies on per-round dedup).
+	CompactInboxes bool
+}
+
+func (c *Config) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("sim: N = %d, need at least 1 process", c.N)
+	}
+	if c.Automaton == nil {
+		return fmt.Errorf("sim: Automaton factory is nil")
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("sim: Policy is nil")
+	}
+	if c.MaxRounds <= 0 {
+		return fmt.Errorf("sim: MaxRounds = %d, must be positive", c.MaxRounds)
+	}
+	for pid, step := range c.Crashes {
+		if pid < 0 || pid >= c.N {
+			return fmt.Errorf("sim: crash schedule names process %d outside [0,%d)", pid, c.N)
+		}
+		if step < 0 {
+			return fmt.Errorf("sim: crash step %d for process %d is negative", step, pid)
+		}
+	}
+	return nil
+}
+
+// ProcStatus is the final state of one process.
+type ProcStatus struct {
+	// Decided is true if the process decided.
+	Decided bool
+	// Decision is the decided value (zero if !Decided).
+	Decision values.Value
+	// DecidedAt is the global step (= round computed) at which it decided.
+	DecidedAt int
+	// Crashed is true if the crash schedule stopped the process.
+	Crashed bool
+	// CrashedAt is the step at which it crashed (meaningful if Crashed).
+	CrashedAt int
+	// LastRound is the last round whose end-of-round the process executed.
+	LastRound int
+}
+
+// Metrics aggregates run-wide counters.
+type Metrics struct {
+	// Broadcasts is the number of envelopes broadcast.
+	Broadcasts int
+	// Deliveries is the number of envelope deliveries performed.
+	Deliveries int
+	// PayloadBytes is the total canonical-encoding size of all broadcast
+	// envelopes (each envelope counted once, not per receiver).
+	PayloadBytes int
+	// MaxEnvelopeBytes is the largest single envelope.
+	MaxEnvelopeBytes int
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	Statuses []ProcStatus
+	// Rounds is the number of global steps executed.
+	Rounds  int
+	Metrics Metrics
+	// Trace is non-nil when Config.RecordTrace was set.
+	Trace *Trace
+}
+
+// AllCorrectDecided reports whether every non-crashed process decided.
+func (r *Result) AllCorrectDecided() bool {
+	for _, st := range r.Statuses {
+		if !st.Crashed && !st.Decided {
+			return false
+		}
+	}
+	return true
+}
+
+// Decisions returns the set of decided values.
+func (r *Result) Decisions() values.Set {
+	out := values.NewSet()
+	for _, st := range r.Statuses {
+		if st.Decided {
+			out.Add(st.Decision)
+		}
+	}
+	return out
+}
+
+// FirstDecisionRound returns the earliest deciding step, or 0 if nobody
+// decided.
+func (r *Result) FirstDecisionRound() int {
+	first := 0
+	for _, st := range r.Statuses {
+		if st.Decided && (first == 0 || st.DecidedAt < first) {
+			first = st.DecidedAt
+		}
+	}
+	return first
+}
+
+// LastDecisionRound returns the latest deciding step among deciders, or 0.
+func (r *Result) LastDecisionRound() int {
+	last := 0
+	for _, st := range r.Statuses {
+		if st.Decided && st.DecidedAt > last {
+			last = st.DecidedAt
+		}
+	}
+	return last
+}
+
+// CheckAgreement returns an error if two processes decided differently.
+func (r *Result) CheckAgreement() error {
+	if d := r.Decisions(); d.Len() > 1 {
+		return fmt.Errorf("agreement violated: decisions %v", d)
+	}
+	return nil
+}
+
+// CheckValidity returns an error if some decision is not among proposals.
+func (r *Result) CheckValidity(proposals values.Set) error {
+	for i, st := range r.Statuses {
+		if st.Decided && !proposals.Contains(st.Decision) {
+			return fmt.Errorf("validity violated: process %d decided %v, proposals %v", i, st.Decision, proposals)
+		}
+	}
+	return nil
+}
+
+// pendingDelivery is an envelope scheduled for a future step.
+type pendingDelivery struct {
+	receiver int
+	sender   int
+	env      giraf.Envelope
+}
+
+// Engine executes one configured run. Create with New, drive with Run.
+type Engine struct {
+	cfg    Config
+	procs  []*giraf.Proc
+	auts   []giraf.Automaton
+	status []ProcStatus
+	// due[step] holds deliveries scheduled for that step.
+	due     map[int][]pendingDelivery
+	metrics Metrics
+	trace   *Trace
+}
+
+// New builds an engine; it returns an error on invalid configuration.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		procs:  make([]*giraf.Proc, cfg.N),
+		auts:   make([]giraf.Automaton, cfg.N),
+		status: make([]ProcStatus, cfg.N),
+		due:    make(map[int][]pendingDelivery),
+	}
+	for i := 0; i < cfg.N; i++ {
+		e.auts[i] = cfg.Automaton(i)
+		e.procs[i] = giraf.NewProc(e.auts[i])
+	}
+	if cfg.RecordTrace {
+		e.trace = newTrace(cfg.N)
+	}
+	return e, nil
+}
+
+// Proc returns the framework state of process i (for hooks and tests).
+func (e *Engine) Proc(i int) *giraf.Proc { return e.procs[i] }
+
+// Automaton returns the automaton of process i (for hooks and tests).
+func (e *Engine) Automaton(i int) giraf.Automaton { return e.auts[i] }
+
+// N returns the number of processes.
+func (e *Engine) N() int { return e.cfg.N }
+
+// crashedAt reports whether pid is crashed at step.
+func (e *Engine) crashedAt(pid, step int) bool {
+	cs, ok := e.cfg.Crashes[pid]
+	return ok && step >= cs
+}
+
+// Run executes the simulation and returns the result. The engine is
+// single-use: Run must be called once.
+func (e *Engine) Run() *Result {
+	// Step 0: initialization end-of-round for every non-crashed process.
+	e.step(0)
+	allDone := false
+	step := 1
+	for ; step <= e.cfg.MaxRounds && !allDone; step++ {
+		e.deliverDue(step)
+		e.step(step)
+		if e.cfg.OnRound != nil {
+			e.cfg.OnRound(step, e)
+		}
+		if e.cfg.CompactInboxes {
+			for _, p := range e.procs {
+				p.CompactBefore(step - 1)
+			}
+		}
+		allDone = true
+		for i := range e.procs {
+			if !e.crashedAt(i, step) && !e.procs[i].Halted() {
+				allDone = false
+				break
+			}
+		}
+	}
+	rounds := step - 1
+	for i, p := range e.procs {
+		st := &e.status[i]
+		st.LastRound = p.CurrentRound()
+		if d := p.Decision(); d.Decided {
+			st.Decided = true
+			st.Decision = d.Value
+		}
+		if cs, ok := e.cfg.Crashes[i]; ok && cs <= rounds {
+			st.Crashed = true
+			st.CrashedAt = cs
+		}
+	}
+	if e.trace != nil {
+		e.trace.Rounds = rounds
+	}
+	return &Result{
+		Statuses: e.status,
+		Rounds:   rounds,
+		Metrics:  e.metrics,
+		Trace:    e.trace,
+	}
+}
+
+// deliverDue merges all envelopes scheduled for this step into receivers.
+func (e *Engine) deliverDue(step int) {
+	for _, d := range e.due[step] {
+		if e.crashedAt(d.receiver, step) {
+			continue
+		}
+		e.procs[d.receiver].Receive(d.env)
+		e.metrics.Deliveries++
+		if e.trace != nil {
+			e.trace.recordDelivery(d.env.Round, d.sender, d.receiver, step)
+		}
+	}
+	delete(e.due, step)
+}
+
+// step runs the end-of-round for every live process and schedules the
+// resulting broadcasts with policy-chosen delays.
+func (e *Engine) step(step int) {
+	type outMsg struct {
+		sender int
+		env    giraf.Envelope
+	}
+	var outs []outMsg
+	for i, p := range e.procs {
+		if e.crashedAt(i, step) || p.Halted() {
+			continue
+		}
+		env, ok := p.EndOfRound()
+		if step >= 1 && e.trace != nil {
+			// The process consumed M[step] in this end-of-round (whether it
+			// decided or not), so it counts as a round-step receiver for the
+			// environment checkers.
+			e.trace.recordComputed(i, step)
+		}
+		if p.Halted() {
+			if d := p.Decision(); d.Decided {
+				e.status[i].Decided = true
+				e.status[i].Decision = d.Value
+				e.status[i].DecidedAt = step
+				if e.trace != nil {
+					e.trace.recordDecision(i, step)
+				}
+			}
+			continue
+		}
+		if !ok {
+			continue
+		}
+		outs = append(outs, outMsg{sender: i, env: env})
+	}
+	if len(outs) == 0 {
+		return
+	}
+	round := outs[0].env.Round // == step+1 for all senders (lockstep)
+	senders := make([]int, len(outs))
+	for i, o := range outs {
+		senders[i] = o.sender
+	}
+	delay := e.cfg.Policy.Schedule(round, senders, e.cfg.N)
+	for _, o := range outs {
+		if e.trace != nil {
+			e.trace.recordBroadcast(round, o.sender)
+		}
+		size := envelopeBytes(o.env)
+		e.metrics.Broadcasts++
+		e.metrics.PayloadBytes += size
+		if size > e.metrics.MaxEnvelopeBytes {
+			e.metrics.MaxEnvelopeBytes = size
+		}
+		for r := 0; r < e.cfg.N; r++ {
+			if r == o.sender {
+				continue // own payload is already in own inbox (Alg. 1 line 10)
+			}
+			d := delay(o.sender, r)
+			if d < 0 {
+				panic(fmt.Sprintf("sim: policy returned negative delay %d", d))
+			}
+			at := round + d
+			e.due[at] = append(e.due[at], pendingDelivery{receiver: r, sender: o.sender, env: o.env})
+		}
+	}
+	if e.trace != nil {
+		if sp, ok := e.cfg.Policy.(SourceReporter); ok {
+			if s, ok := sp.Source(round); ok {
+				e.trace.recordClaimedSource(round, s)
+			}
+		}
+	}
+}
+
+func envelopeBytes(env giraf.Envelope) int {
+	total := 8 // round number
+	for _, p := range env.Payloads {
+		total += len(p.PayloadKey())
+	}
+	return total
+}
+
+// Run is a convenience wrapper: build an engine and run it.
+func Run(cfg Config) (*Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(), nil
+}
+
+// rngFor derives a deterministic rand.Rand for a given policy seed and
+// stream label, so distinct policies never share streams.
+func rngFor(seed int64, stream string) *rand.Rand {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(stream) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ h))
+}

@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"testing"
+
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+// floodPayload is a value set payload for engine tests.
+type floodPayload struct{ s values.Set }
+
+func (p floodPayload) PayloadKey() string { return p.s.Key() }
+
+// floodAutomaton gossips the union of everything it has seen and decides
+// once it has seen `quorum` distinct values (or never, when quorum is 0).
+type floodAutomaton struct {
+	v      values.Value
+	quorum int
+	seen   values.Set
+}
+
+func newFlood(v values.Value, quorum int) *floodAutomaton {
+	return &floodAutomaton{v: v, quorum: quorum, seen: values.NewSet(v)}
+}
+
+func (a *floodAutomaton) Initialize() giraf.Payload {
+	return floodPayload{values.NewSet(a.v)}
+}
+
+func (a *floodAutomaton) Compute(k int, in giraf.Inbox) (giraf.Payload, giraf.Decision) {
+	for _, p := range in.Round(k) {
+		a.seen.AddAll(p.(floodPayload).s)
+	}
+	if a.quorum > 0 && a.seen.Len() >= a.quorum {
+		max, _ := a.seen.Max()
+		return nil, giraf.Decision{Decided: true, Value: max}
+	}
+	return floodPayload{a.seen.Clone()}, giraf.Decision{}
+}
+
+func floodFactory(quorum int) func(i int) giraf.Automaton {
+	return func(i int) giraf.Automaton { return newFlood(values.Num(int64(i)), quorum) }
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{N: 3, Automaton: floodFactory(3), Policy: Synchronous{}, MaxRounds: 10}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero N", func(c *Config) { c.N = 0 }},
+		{"nil automaton", func(c *Config) { c.Automaton = nil }},
+		{"nil policy", func(c *Config) { c.Policy = nil }},
+		{"zero MaxRounds", func(c *Config) { c.MaxRounds = 0 }},
+		{"crash pid out of range", func(c *Config) { c.Crashes = map[int]int{7: 1} }},
+		{"negative crash step", func(c *Config) { c.Crashes = map[int]int{0: -1} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base()
+			tt.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("New must reject invalid config")
+			}
+		})
+	}
+	if _, err := New(base()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestSynchronousFloodDecides(t *testing.T) {
+	res, err := Run(Config{
+		N:         4,
+		Automaton: floodFactory(4),
+		Policy:    Synchronous{},
+		MaxRounds: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCorrectDecided() {
+		t.Fatal("all processes must decide under full synchrony")
+	}
+	// With delay 0 everywhere, everybody has everything by round 2:
+	// round 1 sees own + all initial payloads, but sets differ per process
+	// only in ordering — all 4 values are present already in round 1.
+	if got := res.FirstDecisionRound(); got != 1 {
+		t.Errorf("first decision at round %d, want 1", got)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrashedProcessStopsParticipating(t *testing.T) {
+	res, err := Run(Config{
+		N:         4,
+		Automaton: floodFactory(0), // never decides; we inspect rounds only
+		Policy:    Synchronous{},
+		Crashes:   map[int]int{2: 3},
+		MaxRounds: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Statuses[2]
+	if !st.Crashed || st.CrashedAt != 3 {
+		t.Fatalf("status[2] = %+v, want crash at 3", st)
+	}
+	// It executed end-of-round at steps 0,1,2 → reached round 3.
+	if st.LastRound != 3 {
+		t.Errorf("LastRound = %d, want 3", st.LastRound)
+	}
+	for i, s := range res.Statuses {
+		if i != 2 && s.Crashed {
+			t.Errorf("process %d wrongly marked crashed", i)
+		}
+	}
+}
+
+func TestCrashAtStepZeroNeverInitializes(t *testing.T) {
+	res, err := Run(Config{
+		N:         3,
+		Automaton: floodFactory(3), // quorum 3 unreachable: only 2 values circulate
+		Policy:    Synchronous{},
+		Crashes:   map[int]int{0: 0},
+		MaxRounds: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statuses[0].LastRound != 0 {
+		t.Errorf("crashed-at-0 process reached round %d", res.Statuses[0].LastRound)
+	}
+	for i := 1; i < 3; i++ {
+		if res.Statuses[i].Decided {
+			t.Errorf("process %d decided despite missing value", i)
+		}
+	}
+}
+
+func TestDelayedDeliveryArrivesLate(t *testing.T) {
+	// Isolate process 0 in both directions for rounds 1–3 (all its links
+	// 2 rounds late), then let everything be timely: its value is invisible
+	// early but spreads once links recover. The reverse delays keep process
+	// 0 undecided (it would otherwise decide in round 1 and halt before its
+	// value was ever delivered timely).
+	pol := &Scripted{Delays: map[int]map[int]map[int]int{}, Default: 0}
+	for r := 1; r <= 3; r++ {
+		pol.Delays[r] = map[int]map[int]int{
+			0: {1: 2, 2: 2},
+			1: {0: 2},
+			2: {0: 2},
+		}
+	}
+	res, err := Run(Config{
+		N:         3,
+		Automaton: floodFactory(3),
+		Policy:    pol,
+		MaxRounds: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllCorrectDecided() {
+		t.Fatal("once links recover everybody must decide")
+	}
+	// Processes 1 and 2 cannot have seen value 0 before round 4.
+	for i := 1; i <= 2; i++ {
+		if st := res.Statuses[i]; st.DecidedAt < 4 {
+			t.Errorf("process %d decided at %d, impossible before round 4", i, st.DecidedAt)
+		}
+	}
+}
+
+func TestPermanentlyLatePayloadsAreInvisibleToRoundReads(t *testing.T) {
+	// A sender whose envelopes are always one round late never contributes
+	// to anyone's round-k inbox at compute time: a round-reading automaton
+	// never learns its value (GIRAF semantics; Algorithm 4 instead reads
+	// Fresh() across rounds precisely to catch such stragglers).
+	pol := &Scripted{Delays: map[int]map[int]map[int]int{}, Default: 0}
+	for r := 1; r <= 12; r++ {
+		pol.Delays[r] = map[int]map[int]int{0: {1: 1, 2: 1}}
+	}
+	res, err := Run(Config{
+		N:         3,
+		Automaton: floodFactory(3),
+		Policy:    pol,
+		MaxRounds: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if res.Statuses[i].Decided {
+			t.Errorf("process %d saw a permanently-late value", i)
+		}
+	}
+}
+
+func TestMetricsCounting(t *testing.T) {
+	res, err := Run(Config{
+		N:         3,
+		Automaton: floodFactory(0),
+		Policy:    Synchronous{},
+		MaxRounds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps 0..4 each have 3 broadcasts → 15, but the engine stops after
+	// MaxRounds steps; step 4's envelopes may exceed; just sanity-check.
+	if res.Metrics.Broadcasts == 0 || res.Metrics.Deliveries == 0 {
+		t.Error("metrics must count broadcasts and deliveries")
+	}
+	if res.Metrics.PayloadBytes <= 0 || res.Metrics.MaxEnvelopeBytes <= 0 {
+		t.Error("metrics must account payload bytes")
+	}
+}
+
+func TestOnRoundHook(t *testing.T) {
+	var rounds []int
+	_, err := Run(Config{
+		N:         2,
+		Automaton: floodFactory(0),
+		Policy:    Synchronous{},
+		MaxRounds: 3,
+		OnRound:   func(r int, e *Engine) { rounds = append(rounds, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 3 || rounds[0] != 1 || rounds[2] != 3 {
+		t.Errorf("hook rounds = %v, want [1 2 3]", rounds)
+	}
+}
+
+func TestDeterminismSameSeedSameResult(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{
+			N:         5,
+			Automaton: floodFactory(5),
+			Policy:    &MS{Seed: 42, MaxDelay: 2},
+			MaxRounds: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.FirstDecisionRound() != b.FirstDecisionRound() {
+		t.Error("same seed must reproduce the same run")
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("metrics differ: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestResultAccessorsAndChecks(t *testing.T) {
+	res, err := Run(Config{
+		N:           3,
+		Automaton:   floodFactory(3),
+		Policy:      Synchronous{},
+		MaxRounds:   10,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstDecisionRound() == 0 || res.LastDecisionRound() < res.FirstDecisionRound() {
+		t.Errorf("decision rounds: first=%d last=%d", res.FirstDecisionRound(), res.LastDecisionRound())
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Error(err)
+	}
+	props := values.NewSet(values.Num(0), values.Num(1), values.Num(2))
+	if err := res.CheckValidity(props); err != nil {
+		t.Error(err)
+	}
+	if err := res.CheckValidity(values.NewSet(values.Num(99))); err == nil {
+		t.Error("CheckValidity must flag foreign decisions")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e, err := New(Config{N: 2, Automaton: floodFactory(0), Policy: Synchronous{}, MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 2 || e.Proc(0) == nil || e.Automaton(1) == nil {
+		t.Error("engine accessors broken")
+	}
+	e.Run()
+}
+
+func TestCompactInboxesKeepsMemoryFlat(t *testing.T) {
+	runWith := func(compact bool) (maxRounds int, res *Result) {
+		res, err := Run(Config{
+			N:              3,
+			Automaton:      floodFactory(0),
+			Policy:         Synchronous{},
+			MaxRounds:      40,
+			CompactInboxes: compact,
+			OnRound: func(r int, e *Engine) {
+				for i := 0; i < e.N(); i++ {
+					if got := e.Proc(i).InboxRounds(); got > maxRounds {
+						maxRounds = got
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return maxRounds, res
+	}
+	uncompacted, _ := runWith(false)
+	compacted, _ := runWith(true)
+	if compacted >= uncompacted {
+		t.Errorf("compaction ineffective: %d vs %d retained rounds", compacted, uncompacted)
+	}
+	// The OnRound sample runs before the step's compaction, so a process
+	// briefly holds rounds s−1, s and s+1 (own next payload), plus one
+	// early-delivered future round at most.
+	if compacted > 4 {
+		t.Errorf("compacted runs should retain ≤4 rounds, got %d", compacted)
+	}
+}
+
+func TestCompactInboxesPreservesConsensusBehaviour(t *testing.T) {
+	// The engines must produce identical decisions with and without
+	// compaction for round-reading automata.
+	run := func(compact bool) *Result {
+		res, err := Run(Config{
+			N:              4,
+			Automaton:      floodFactory(4),
+			Policy:         &MS{Seed: 5, MaxDelay: 2},
+			MaxRounds:      60,
+			CompactInboxes: compact,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	for i := range a.Statuses {
+		if a.Statuses[i].Decided != b.Statuses[i].Decided ||
+			a.Statuses[i].Decision != b.Statuses[i].Decision ||
+			a.Statuses[i].DecidedAt != b.Statuses[i].DecidedAt {
+			t.Fatalf("compaction changed behaviour: %+v vs %+v", a.Statuses[i], b.Statuses[i])
+		}
+	}
+}

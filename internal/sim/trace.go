@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Trace records who computed which round and which deliveries were timely,
+// in exactly the vocabulary of the paper's environment definitions (§2.3),
+// so that a finished run can be checked against MS/ES/ESS independently of
+// whatever the policy claimed to do.
+type Trace struct {
+	// N is the number of processes.
+	N int
+	// Rounds is the number of global steps executed.
+	Rounds int
+
+	// computed[r] is the set of processes that executed compute(r).
+	computed map[int]map[int]bool
+	// timely[r][sender] is the set of receivers that got sender's round-r
+	// envelope within round r (delay 0). The sender itself is implicit: its
+	// own payload is always in its own inbox.
+	timely map[int]map[int]map[int]bool
+	// senders[r] is the set of processes that broadcast a round-r envelope.
+	senders map[int]map[int]bool
+	// decisions[pid] is the step at which pid decided.
+	decisions map[int]int
+	// claimedSources[r] is the policy's self-reported source, if any.
+	claimedSources map[int]int
+}
+
+func newTrace(n int) *Trace {
+	return &Trace{
+		N:              n,
+		computed:       make(map[int]map[int]bool),
+		timely:         make(map[int]map[int]map[int]bool),
+		senders:        make(map[int]map[int]bool),
+		decisions:      make(map[int]int),
+		claimedSources: make(map[int]int),
+	}
+}
+
+func (t *Trace) recordComputed(pid, round int) {
+	set := t.computed[round]
+	if set == nil {
+		set = make(map[int]bool)
+		t.computed[round] = set
+	}
+	set[pid] = true
+}
+
+func (t *Trace) recordBroadcast(round, sender int) {
+	snd := t.senders[round]
+	if snd == nil {
+		snd = make(map[int]bool)
+		t.senders[round] = snd
+	}
+	snd[sender] = true
+}
+
+func (t *Trace) recordDelivery(round, sender, receiver, step int) {
+	if step > round {
+		return // late delivery: reliable but not timely
+	}
+	perRound := t.timely[round]
+	if perRound == nil {
+		perRound = make(map[int]map[int]bool)
+		t.timely[round] = perRound
+	}
+	set := perRound[sender]
+	if set == nil {
+		set = make(map[int]bool)
+		perRound[sender] = set
+	}
+	set[receiver] = true
+}
+
+func (t *Trace) recordDecision(pid, step int) { t.decisions[pid] = step }
+
+func (t *Trace) recordClaimedSource(round, pid int) { t.claimedSources[round] = pid }
+
+// Computed returns the processes that executed compute(round), sorted.
+func (t *Trace) Computed(round int) []int {
+	return sortedKeys(t.computed[round])
+}
+
+// ClaimedSource returns the policy-claimed source for a round.
+func (t *Trace) ClaimedSource(round int) (int, bool) {
+	pid, ok := t.claimedSources[round]
+	return pid, ok
+}
+
+// TimelySources returns every sender whose round-`round` envelope reached
+// all of the given receivers timely (the sender itself always counts as
+// reached). This is the set of processes with a timely link in that round.
+func (t *Trace) TimelySources(round int, receivers []int) []int {
+	var out []int
+	for sender := range t.senders[round] {
+		got := t.timely[round][sender]
+		ok := true
+		for _, r := range receivers {
+			if r == sender {
+				continue
+			}
+			if !got[r] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, sender)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// lastCheckableRound returns the last round r such that some process
+// computed r: the final partially-executed round (payloads sent, nobody
+// computed) carries no environment obligations.
+func (t *Trace) lastCheckableRound() int {
+	last := 0
+	for r := range t.computed {
+		if r > last {
+			last = r
+		}
+	}
+	return last
+}
+
+// CheckMS verifies the moving-source property on the recorded run: every
+// round that anyone computed has at least one sender with a timely link to
+// every process that computed the round.
+func (t *Trace) CheckMS() error {
+	last := t.lastCheckableRound()
+	for r := 1; r <= last; r++ {
+		receivers := t.Computed(r)
+		if len(receivers) == 0 {
+			continue
+		}
+		if len(t.TimelySources(r, receivers)) == 0 {
+			return fmt.Errorf("MS violated in round %d: no sender reached all of %v timely", r, receivers)
+		}
+	}
+	return nil
+}
+
+// CheckES verifies the eventual-synchrony property: MS everywhere, plus
+// from round gst on, every sender that is still broadcasting has a timely
+// link to every process that computed the round.
+func (t *Trace) CheckES(gst int) error {
+	if err := t.CheckMS(); err != nil {
+		return err
+	}
+	last := t.lastCheckableRound()
+	for r := maxInt(gst, 1); r <= last; r++ {
+		receivers := t.Computed(r)
+		if len(receivers) == 0 {
+			continue
+		}
+		timely := t.TimelySources(r, receivers)
+		for sender := range t.senders[r] {
+			if !contains(timely, sender) {
+				return fmt.Errorf("ES violated in round %d (≥ GST %d): sender %d not timely to all of %v", r, gst, sender, receivers)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckESS verifies the eventual-stable-source property: MS everywhere,
+// plus from round gst on the same process source has a timely link in every
+// round in which it still broadcasts. Rounds after the source stopped
+// broadcasting (it decided or the run ended) carry no obligation for it but
+// must still satisfy plain MS, which CheckMS covers.
+func (t *Trace) CheckESS(gst, source int) error {
+	if err := t.CheckMS(); err != nil {
+		return err
+	}
+	last := t.lastCheckableRound()
+	for r := maxInt(gst, 1); r <= last; r++ {
+		if !t.senders[r][source] {
+			continue
+		}
+		receivers := t.Computed(r)
+		if len(receivers) == 0 {
+			continue
+		}
+		if !contains(t.TimelySources(r, receivers), source) {
+			return fmt.Errorf("ESS violated in round %d (≥ GST %d): stable source %d not timely to all of %v", r, gst, source, receivers)
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

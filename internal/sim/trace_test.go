@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// runTraced runs the flood automaton (never deciding) under pol and returns
+// the trace.
+func runTraced(t *testing.T, n, rounds int, pol Policy, crashes map[int]int) *Trace {
+	t.Helper()
+	res, err := Run(Config{
+		N:           n,
+		Automaton:   floodFactory(0),
+		Policy:      pol,
+		Crashes:     crashes,
+		MaxRounds:   rounds,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("trace missing")
+	}
+	return res.Trace
+}
+
+func TestSynchronousSatisfiesAllEnvironments(t *testing.T) {
+	tr := runTraced(t, 4, 12, Synchronous{}, nil)
+	if err := tr.CheckMS(); err != nil {
+		t.Errorf("CheckMS: %v", err)
+	}
+	if err := tr.CheckES(1); err != nil {
+		t.Errorf("CheckES: %v", err)
+	}
+	if err := tr.CheckESS(1, 0); err != nil {
+		t.Errorf("CheckESS: %v", err)
+	}
+}
+
+func TestMSPolicySatisfiesMS(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 99} {
+		tr := runTraced(t, 5, 30, &MS{Seed: seed, MaxDelay: 4}, nil)
+		if err := tr.CheckMS(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMSPolicyWithShuffleSatisfiesMS(t *testing.T) {
+	tr := runTraced(t, 6, 30, &MS{Seed: 7, Shuffle: true}, nil)
+	if err := tr.CheckMS(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSPolicySurvivesCrashes(t *testing.T) {
+	tr := runTraced(t, 5, 30, &MS{Seed: 5}, map[int]int{0: 4, 1: 9})
+	if err := tr.CheckMS(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSPolicyIsNotES(t *testing.T) {
+	// With non-source delays always ≥ 1 and several processes, pre-GST MS
+	// chaos must violate the all-timely requirement of ES.
+	tr := runTraced(t, 4, 30, &MS{Seed: 3}, nil)
+	if err := tr.CheckES(1); err == nil {
+		t.Error("MS run unexpectedly satisfies ES from round 1")
+	}
+}
+
+func TestESPolicySatisfiesES(t *testing.T) {
+	gst := 10
+	tr := runTraced(t, 5, 30, &ES{GST: gst, Pre: MS{Seed: 11}}, nil)
+	if err := tr.CheckES(gst); err != nil {
+		t.Errorf("CheckES: %v", err)
+	}
+	if err := tr.CheckMS(); err != nil {
+		t.Errorf("CheckMS: %v", err)
+	}
+}
+
+func TestESSPolicySatisfiesESS(t *testing.T) {
+	gst, src := 8, 2
+	tr := runTraced(t, 5, 40, &ESS{GST: gst, StableSource: src, Pre: MS{Seed: 13}}, nil)
+	if err := tr.CheckESS(gst, src); err != nil {
+		t.Errorf("CheckESS: %v", err)
+	}
+}
+
+func TestESSIsNotESWhenLinksStaySlow(t *testing.T) {
+	tr := runTraced(t, 4, 40, &ESS{GST: 5, StableSource: 1, Pre: MS{Seed: 17}}, nil)
+	if err := tr.CheckES(5); err == nil {
+		t.Error("ESS run with slow non-source links unexpectedly satisfies ES")
+	}
+}
+
+func TestAsyncWithMinDelayViolatesMS(t *testing.T) {
+	tr := runTraced(t, 4, 20, &Async{Seed: 23, MinDelay: 1, MaxDelay: 3}, nil)
+	err := tr.CheckMS()
+	if err == nil {
+		t.Fatal("async run with all-late deliveries must violate MS")
+	}
+	if !strings.Contains(err.Error(), "MS violated") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestAlternatingMSSatisfiesMS(t *testing.T) {
+	tr := runTraced(t, 4, 40, &AlternatingMS{}, nil)
+	if err := tr.CheckMS(); err != nil {
+		t.Error(err)
+	}
+	// ...but not ES: the non-source half is always late.
+	if err := tr.CheckES(1); err == nil {
+		t.Error("alternating schedule unexpectedly satisfies ES")
+	}
+	// ...and not ESS for either alternating source.
+	if tr.CheckESS(1, 0) == nil && tr.CheckESS(1, 3) == nil {
+		t.Error("alternating schedule unexpectedly satisfies ESS")
+	}
+}
+
+func TestScriptedViolationDetected(t *testing.T) {
+	// Round 2: everybody's envelope late to somebody → no source → MS broken.
+	pol := &Scripted{Default: 0, Delays: map[int]map[int]map[int]int{
+		2: {
+			0: {1: 1},
+			1: {2: 1},
+			2: {0: 1},
+		},
+	}}
+	tr := runTraced(t, 3, 6, pol, nil)
+	err := tr.CheckMS()
+	if err == nil {
+		t.Fatal("hand-built violation not detected")
+	}
+	if !strings.Contains(err.Error(), "round 2") {
+		t.Errorf("violation should name round 2: %v", err)
+	}
+}
+
+func TestClaimedSourceIsTimely(t *testing.T) {
+	tr := runTraced(t, 5, 25, &MS{Seed: 31}, nil)
+	for r := 1; r <= 20; r++ {
+		src, ok := tr.ClaimedSource(r)
+		if !ok {
+			continue
+		}
+		receivers := tr.Computed(r)
+		if len(receivers) == 0 {
+			continue
+		}
+		if !contains(tr.TimelySources(r, receivers), src) {
+			t.Errorf("round %d: claimed source %d not actually timely", r, src)
+		}
+	}
+}
+
+func TestTimelySourcesSenderCountsItself(t *testing.T) {
+	// n=1: the only process is trivially a source every round.
+	tr := runTraced(t, 1, 5, &MS{Seed: 1}, nil)
+	if err := tr.CheckMS(); err != nil {
+		t.Errorf("single-process run must satisfy MS: %v", err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package tcpnet runs anonymous consensus across real network connections:
+// a broadcast Hub relays frames between TCP connections and Nodes drive
+// GIRAF automata against it.
+//
+// Anonymity is preserved end to end: frames (package wire) carry no sender
+// identifier, the hub relays bytes verbatim without annotating origin, and
+// nodes never learn how many peers exist — the hub accepts connections at
+// any time. The hub itself is a dumb reliable-broadcast device standing in
+// for the paper's broadcast primitive; all algorithmic work happens in the
+// nodes.
+//
+// Timing realizes the environments physically: a node's round timer and
+// the hub's (optional) per-connection artificial delays determine which
+// links are timely, exactly as in the in-process runtime (anonnet).
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+	"anonconsensus/internal/wire"
+)
+
+// Hub is the reliable anonymous broadcast relay: every frame received on
+// one connection is forwarded to every *other* connection, in arrival
+// order, with no origin information. The hub retains a log of all frames
+// and replays it to every new connection: the paper's broadcast primitive
+// is reliable to *all* correct processes, so a process that attaches late
+// must still receive everything broadcast before it arrived (late counts
+// as asynchronous, lost would break the model — see the late-joiner test).
+type Hub struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]chan []byte
+	log    [][]byte
+	closed bool
+
+	wg sync.WaitGroup
+	// Delay, if set, is applied before forwarding a frame to a connection
+	// (indexed by accept order), letting tests shape per-link timeliness.
+	delay func(connIndex int) time.Duration
+	order map[net.Conn]int
+	next  int
+}
+
+// HubOption configures the hub.
+type HubOption func(*Hub)
+
+// WithForwardDelay delays every forward to the i-th accepted connection.
+func WithForwardDelay(f func(connIndex int) time.Duration) HubOption {
+	return func(h *Hub) { h.delay = f }
+}
+
+// NewHub starts a hub listening on addr (e.g. "127.0.0.1:0"). Close stops
+// it.
+func NewHub(addr string, opts ...HubOption) (*Hub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: hub listen: %w", err)
+	}
+	h := &Hub{
+		ln:    ln,
+		conns: make(map[net.Conn]chan []byte),
+		order: make(map[net.Conn]int),
+	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the hub and all its connections.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]net.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+
+	err := h.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+func (h *Hub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		// Size the queue to hold the whole replay plus headroom so a new
+		// connection is never treated as overwhelmed before it caught up.
+		out := make(chan []byte, len(h.log)+4096)
+		for _, frame := range h.log {
+			out <- frame
+		}
+		h.conns[conn] = out
+		h.order[conn] = h.next
+		h.next++
+		h.mu.Unlock()
+
+		h.wg.Add(2)
+		go h.readLoop(conn)
+		go h.writeLoop(conn, out)
+	}
+}
+
+// readLoop pulls frames off one connection and fans them out.
+func (h *Hub) readLoop(conn net.Conn) {
+	defer h.wg.Done()
+	defer h.drop(conn)
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken pipe: the node left
+		}
+		var overwhelmed []net.Conn
+		h.mu.Lock()
+		h.log = append(h.log, frame)
+		for peer, out := range h.conns {
+			if peer == conn {
+				continue // the sender's own payload is already in its inbox
+			}
+			select {
+			case out <- frame:
+			default:
+				// Broadcast must stay reliable to correct processes:
+				// silently dropping frames would void the model's safety
+				// assumptions. A consumer that cannot keep up is instead
+				// disconnected — in the crash-fault model it is now a
+				// crashed process, which the algorithms tolerate.
+				overwhelmed = append(overwhelmed, peer)
+			}
+		}
+		h.mu.Unlock()
+		for _, peer := range overwhelmed {
+			h.drop(peer)
+		}
+	}
+}
+
+// writeLoop forwards queued frames to one connection.
+func (h *Hub) writeLoop(conn net.Conn, out chan []byte) {
+	defer h.wg.Done()
+	idx := func() int {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.order[conn]
+	}()
+	for frame := range out {
+		if h.delay != nil {
+			if d := h.delay(idx); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if err := wire.WriteFrame(conn, frame); err != nil {
+			return
+		}
+	}
+}
+
+// drop unregisters a connection.
+func (h *Hub) drop(conn net.Conn) {
+	h.mu.Lock()
+	out, ok := h.conns[conn]
+	delete(h.conns, conn)
+	h.mu.Unlock()
+	if ok {
+		close(out)
+	}
+	_ = conn.Close()
+}
+
+// NodeConfig drives one consensus node against a hub.
+type NodeConfig struct {
+	// HubAddr is the hub's TCP address.
+	HubAddr string
+	// Automaton is the GIRAF automaton to run.
+	Automaton giraf.Automaton
+	// Interval is the local round-timer period; defaults to 10ms.
+	Interval time.Duration
+	// Timeout bounds the run; defaults to 30s.
+	Timeout time.Duration
+	// JoinGrace delays the node's first end-of-round so the hub's replay
+	// of earlier broadcasts is consumed first; defaults to 3×Interval.
+	// With unknown participation a node cannot distinguish "I am alone"
+	// from "my peers' messages are still in flight" — the grace period is
+	// the pragmatic stand-in for the model's premise that all of Π is
+	// present from round 1.
+	JoinGrace time.Duration
+}
+
+// NodeResult is a node's outcome.
+type NodeResult struct {
+	Decided  bool
+	Decision values.Value
+	Round    int
+	// Rounds is the number of end-of-rounds executed.
+	Rounds int
+}
+
+// RunNode connects to the hub and drives the automaton until it decides or
+// the timeout expires.
+func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
+	if cfg.Automaton == nil {
+		return nil, errors.New("tcpnet: nil automaton")
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	conn, err := net.Dial("tcp", cfg.HubAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dialing hub: %w", err)
+	}
+	defer conn.Close()
+
+	proc := giraf.NewProc(cfg.Automaton)
+	inbox := make(chan giraf.Envelope, 1024)
+
+	// Reader goroutine: frames → envelopes → inbox. Corrupt frames from a
+	// byzantine-ish peer are dropped, not fatal: crash-fault model.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			frame, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			env, err := wire.DecodeEnvelope(frame)
+			if err != nil {
+				continue
+			}
+			select {
+			case inbox <- env:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	grace := cfg.JoinGrace
+	if grace <= 0 {
+		grace = 3 * interval
+	}
+	graceOver := time.After(grace)
+	started := false
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	res := &NodeResult{}
+	for {
+		select {
+		case <-ctx.Done():
+			res.Rounds = proc.CurrentRound()
+			return res, nil
+		case <-readerDone:
+			res.Rounds = proc.CurrentRound()
+			return res, fmt.Errorf("tcpnet: hub connection lost")
+		case <-graceOver:
+			started = true
+		case env := <-inbox:
+			proc.Receive(env)
+		case <-ticker.C:
+			if !started {
+				continue // still consuming the hub replay
+			}
+			computing := proc.CurrentRound()
+			env, ok := proc.EndOfRound()
+			if proc.Halted() {
+				d := proc.Decision()
+				res.Decided = true
+				res.Decision = d.Value
+				res.Round = computing
+				res.Rounds = proc.CurrentRound()
+				return res, nil
+			}
+			if !ok {
+				continue
+			}
+			frame, err := wire.EncodeEnvelope(env)
+			if err != nil {
+				return res, fmt.Errorf("tcpnet: encoding round %d: %w", env.Round, err)
+			}
+			if err := wire.WriteFrame(conn, frame); err != nil {
+				res.Rounds = proc.CurrentRound()
+				return res, fmt.Errorf("tcpnet: broadcasting round %d: %w", env.Round, err)
+			}
+		}
+	}
+}

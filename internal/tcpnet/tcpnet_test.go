@@ -1,0 +1,193 @@
+package tcpnet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/values"
+)
+
+// runCluster starts a hub and n concurrent nodes, returning their results.
+func runCluster(t *testing.T, n int, interval time.Duration, mkAut func(i int) NodeConfig, opts ...HubOption) []*NodeResult {
+	t.Helper()
+	hub, err := NewHub("127.0.0.1:0", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	results := make([]*NodeResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		cfg := mkAut(i)
+		cfg.HubAddr = hub.Addr()
+		if cfg.Interval == 0 {
+			cfg.Interval = interval
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = RunNode(context.Background(), cfg)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return results
+}
+
+func TestTCPConsensusES(t *testing.T) {
+	props := core.DistinctProposals(4)
+	results := runCluster(t, 4, 8*time.Millisecond, func(i int) NodeConfig {
+		return NodeConfig{
+			Automaton: core.NewES(props[i]),
+			Timeout:   30 * time.Second,
+		}
+	})
+	decided := values.NewSet()
+	for i, r := range results {
+		if !r.Decided {
+			t.Fatalf("node %d undecided after %d rounds", i, r.Rounds)
+		}
+		decided.Add(r.Decision)
+	}
+	if decided.Len() != 1 {
+		t.Fatalf("agreement violated over TCP: %v", decided)
+	}
+	if v, _ := decided.Max(); !core.ProposalSet(props).Contains(v) {
+		t.Fatalf("validity violated: %v", v)
+	}
+}
+
+func TestTCPConsensusESS(t *testing.T) {
+	props := core.DistinctProposals(3)
+	results := runCluster(t, 3, 8*time.Millisecond, func(i int) NodeConfig {
+		return NodeConfig{
+			Automaton: core.NewESS(props[i]),
+			Timeout:   40 * time.Second,
+		}
+	})
+	decided := values.NewSet()
+	for i, r := range results {
+		if !r.Decided {
+			t.Fatalf("node %d undecided", i)
+		}
+		decided.Add(r.Decision)
+	}
+	if decided.Len() != 1 {
+		t.Fatalf("agreement violated over TCP: %v", decided)
+	}
+}
+
+func TestTCPConsensusWithForwardDelays(t *testing.T) {
+	// Shape the hub so one connection gets its frames late — the TCP
+	// analogue of a slow link. Eventual synchrony still holds (delays are
+	// bounded below the decision horizon), so everyone decides.
+	props := core.DistinctProposals(3)
+	slow := func(connIndex int) time.Duration {
+		if connIndex == 1 {
+			return 3 * time.Millisecond
+		}
+		return 0
+	}
+	results := runCluster(t, 3, 10*time.Millisecond, func(i int) NodeConfig {
+		return NodeConfig{
+			Automaton: core.NewES(props[i]),
+			Timeout:   40 * time.Second,
+		}
+	}, WithForwardDelay(slow))
+	decided := values.NewSet()
+	for i, r := range results {
+		if !r.Decided {
+			t.Fatalf("node %d undecided", i)
+		}
+		decided.Add(r.Decision)
+	}
+	if decided.Len() != 1 {
+		t.Fatalf("agreement violated: %v", decided)
+	}
+}
+
+func TestTCPNodeValidation(t *testing.T) {
+	if _, err := RunNode(context.Background(), NodeConfig{}); err == nil {
+		t.Error("nil automaton accepted")
+	}
+	if _, err := RunNode(context.Background(), NodeConfig{
+		HubAddr:   "127.0.0.1:1", // nothing listens here
+		Automaton: core.NewES(values.Num(1)),
+		Timeout:   time.Second,
+	}); err == nil {
+		t.Error("dial failure not reported")
+	}
+}
+
+func TestHubCloseIdempotent(t *testing.T) {
+	hub, err := NewHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestTCPLateJoinerStillAgrees(t *testing.T) {
+	// Unknown participation: a node joins a while after the others
+	// started. Agreement must hold among all deciders (the laggard may
+	// adopt the already-decided value or decide in a later round).
+	hub, err := NewHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	props := core.DistinctProposals(3)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		decided = values.NewSet()
+	)
+	start := func(i int, delay time.Duration) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(delay)
+			res, err := RunNode(context.Background(), NodeConfig{
+				HubAddr:   hub.Addr(),
+				Automaton: core.NewES(props[i]),
+				Interval:  8 * time.Millisecond,
+				Timeout:   30 * time.Second,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Decided {
+				mu.Lock()
+				decided.Add(res.Decision)
+				mu.Unlock()
+			}
+		}()
+	}
+	start(0, 0)
+	start(1, 0)
+	start(2, 30*time.Millisecond) // joins a few rounds late
+	wg.Wait()
+	if decided.Len() > 1 {
+		t.Fatalf("agreement violated with late joiner: %v", decided)
+	}
+	if decided.Len() == 0 {
+		t.Fatal("nobody decided")
+	}
+}

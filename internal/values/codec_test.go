@@ -1,0 +1,108 @@
+package values
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeSetRoundTrip(t *testing.T) {
+	f := func(bs []byte) bool {
+		s := randSet(bs)
+		got, err := DecodeSet(EncodeSet(s))
+		return err == nil && got.Equal(s)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeSetCanonical(t *testing.T) {
+	a := NewSet(Num(2), Num(1))
+	b := NewSet(Num(1), Num(2))
+	if EncodeSet(a) != EncodeSet(b) {
+		t.Error("equal sets must encode identically")
+	}
+}
+
+func TestDecodeSetRejectsJunk(t *testing.T) {
+	for _, raw := range []Value{"", "nope", "set!5:ab", "set!-1:", "set!x:"} {
+		if _, err := DecodeSet(raw); err == nil {
+			t.Errorf("DecodeSet(%q) succeeded", string(raw))
+		}
+	}
+}
+
+func TestDecodeSetEmpty(t *testing.T) {
+	got, err := DecodeSet(EncodeSet(NewSet()))
+	if err != nil || !got.IsEmpty() {
+		t.Errorf("empty set round trip: %v, %v", got, err)
+	}
+}
+
+func TestEncodePairOrder(t *testing.T) {
+	// (rank, value) lexicographic: higher rank dominates, then value.
+	lo := EncodePair(1, Num(999))
+	hi := EncodePair(2, Num(0))
+	if !lo.Less(hi) {
+		t.Error("higher rank must dominate regardless of value")
+	}
+	a := EncodePair(3, Num(1))
+	b := EncodePair(3, Num(2))
+	if !a.Less(b) {
+		t.Error("same rank must fall back to value order")
+	}
+}
+
+func TestEncodeDecodePairRoundTrip(t *testing.T) {
+	f := func(rank uint16, raw byte) bool {
+		v := Num(int64(raw))
+		r, got, err := DecodePair(EncodePair(int(rank), v))
+		return err == nil && r == int(rank) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodePairRejectsJunk(t *testing.T) {
+	for _, raw := range []Value{"", "pair!", "pair!123", "set!1:a"} {
+		if _, _, err := DecodePair(raw); err == nil {
+			t.Errorf("DecodePair(%q) succeeded", string(raw))
+		}
+	}
+}
+
+func TestEncodePairNegativeRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative rank must panic")
+		}
+	}()
+	EncodePair(-1, Num(1))
+}
+
+func TestQuickDecodeSetNeverPanics(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _ = DecodeSet(Value(junk))
+		_, _ = DecodeSet(Value("set!" + string(junk)))
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodePairNeverPanics(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _, _ = DecodePair(Value(junk))
+		_, _, _ = DecodePair(Value("pair!" + string(junk)))
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

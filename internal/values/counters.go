@@ -1,0 +1,198 @@
+package values
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is the per-process table C of Algorithm 3: a counter for every
+// proposal history heard of so far. It is the paper's pseudo leader
+// election state — the anonymous replacement for per-ID heartbeat counters
+// in classical Ω implementations.
+//
+// Missing histories implicitly have counter 0 (the paper's "∀H, C[H] := 0"
+// without allocating memory for unheard histories). Entries whose counter
+// is 0 are not stored, so two Counters with equal keys represent the same
+// abstract function H ↦ C[H].
+type Counters struct {
+	entries map[string]counterEntry
+}
+
+type counterEntry struct {
+	hist History
+	n    int
+}
+
+// NewCounters returns an empty counter table (all counters 0).
+func NewCounters() Counters {
+	return Counters{entries: make(map[string]counterEntry)}
+}
+
+// Get returns C[h], which is 0 for histories never heard of.
+func (c Counters) Get(h History) int {
+	e, ok := c.entries[h.Key()]
+	if !ok {
+		return 0
+	}
+	return e.n
+}
+
+// Len returns the number of histories with a non-zero counter.
+func (c Counters) Len() int { return len(c.entries) }
+
+// set stores C[h] = n, dropping the entry when n <= 0 to keep the
+// representation canonical.
+func (c *Counters) set(h History, n int) {
+	if c.entries == nil {
+		c.entries = make(map[string]counterEntry)
+	}
+	k := h.Key()
+	if n <= 0 {
+		delete(c.entries, k)
+		return
+	}
+	c.entries[k] = counterEntry{hist: h, n: n}
+}
+
+// Set stores C[h] = n directly. It exists for wire codecs and tests;
+// Algorithm 3 itself only ever mutates counters through MinMerge and Bump.
+func (c *Counters) Set(h History, n int) { c.set(h, n) }
+
+// Clone returns an independent copy of c.
+func (c Counters) Clone() Counters {
+	out := Counters{entries: make(map[string]counterEntry, len(c.entries))}
+	for k, e := range c.entries {
+		out.entries[k] = e
+	}
+	return out
+}
+
+// MinMerge implements Algorithm 3 line 8: ∀H, C[H] := min_{m∈M} m.C[H].
+// Since absent histories count as 0, only histories present in *every*
+// message survive with a positive counter.
+func MinMerge(msgs []Counters) Counters {
+	out := NewCounters()
+	if len(msgs) == 0 {
+		return out
+	}
+	for k, e := range msgs[0].entries {
+		minN := e.n
+		for _, m := range msgs[1:] {
+			other, ok := m.entries[k]
+			if !ok {
+				minN = 0
+				break
+			}
+			if other.n < minN {
+				minN = other.n
+			}
+		}
+		if minN > 0 {
+			out.entries[k] = counterEntry{hist: e.hist, n: minN}
+		}
+	}
+	return out
+}
+
+// Bump implements Algorithm 3 line 9 for one received history h:
+// C[h] := 1 + max{ C[H] | H is a (non-strict) prefix of h }.
+func (c *Counters) Bump(h History) {
+	best := 0
+	for _, e := range c.entries {
+		if e.hist.IsPrefixOf(h) && e.n > best {
+			best = e.n
+		}
+	}
+	c.set(h, 1+best)
+}
+
+// IsMaximal reports whether C[h] ≥ C[H] for all H — the leader predicate of
+// Algorithm 3 line 15 and Definition "leader(k)". With an empty table every
+// history is trivially maximal.
+func (c Counters) IsMaximal(h History) bool {
+	own := c.Get(h)
+	for _, e := range c.entries {
+		if e.n > own {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxEntries returns the histories whose counter is maximal, in canonical
+// (key) order, together with the maximal counter value. For an empty table
+// it returns (nil, 0).
+func (c Counters) MaxEntries() ([]History, int) {
+	best := 0
+	for _, e := range c.entries {
+		if e.n > best {
+			best = e.n
+		}
+	}
+	if best == 0 {
+		return nil, 0
+	}
+	keys := make([]string, 0, len(c.entries))
+	for k, e := range c.entries {
+		if e.n == best {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]History, len(keys))
+	for i, k := range keys {
+		out[i] = c.entries[k].hist
+	}
+	return out, best
+}
+
+// Histories returns all stored histories in canonical order.
+func (c Counters) Histories() []History {
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]History, len(keys))
+	for i, k := range keys {
+		out[i] = c.entries[k].hist
+	}
+	return out
+}
+
+// Key returns the canonical encoding of the table. Two tables have equal
+// keys iff they represent the same abstract counter function.
+func (c Counters) Key() string {
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("C")
+	for _, k := range keys {
+		encodeString(&b, k)
+		fmt.Fprintf(&b, "=%d;", c.entries[k].n)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (c Counters) String() string {
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		e := c.entries[k]
+		parts = append(parts, fmt.Sprintf("%s→%d", e.hist, e.n))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// EncodedSize returns the canonical encoding length in bytes; used for
+// message-size accounting (experiment T6).
+func (c Counters) EncodedSize() int { return len(c.Key()) }

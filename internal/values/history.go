@@ -1,0 +1,82 @@
+package values
+
+import (
+	"strings"
+)
+
+// History is the sequence of values a process has appended to its proposal
+// history, one per round (Algorithm 3 line 21). Histories are compared by
+// the prefix relation: two processes that ever append different values in
+// the same round have diverged forever, which is exactly what makes the
+// history a usable pseudo-identity in an anonymous system (§4.1).
+//
+// A History value is treated as immutable; Append copies.
+type History []Value
+
+// NewHistory returns a history containing the single initial value
+// (Algorithm 3 line 2: HISTORY := VAL).
+func NewHistory(v Value) History { return History{v} }
+
+// Append returns a new history with v appended; h is not modified.
+func (h History) Append(v Value) History {
+	out := make(History, len(h)+1)
+	copy(out, h)
+	out[len(h)] = v
+	return out
+}
+
+// Len returns the number of entries.
+func (h History) Len() int { return len(h) }
+
+// Equal reports whether h and g are identical sequences.
+func (h History) Equal(g History) bool {
+	if len(h) != len(g) {
+		return false
+	}
+	for i := range h {
+		if h[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrefixOf reports whether h is a (non-strict) prefix of g. The relation
+// is non-strict — every history is a prefix of itself — which is required
+// for Lemma 4: the counter of a stable source's (unchanged-this-round)
+// history must still be bumpable by one each round.
+func (h History) IsPrefixOf(g History) bool {
+	if len(h) > len(g) {
+		return false
+	}
+	for i := range h {
+		if h[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns the canonical encoding of the history. Two histories have
+// equal keys iff they are Equal.
+func (h History) Key() string {
+	var b strings.Builder
+	b.WriteString("H")
+	for _, v := range h {
+		encodeString(&b, string(v))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer: "[a b ⊥]".
+func (h History) String() string {
+	parts := make([]string, len(h))
+	for i, v := range h {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// EncodedSize returns the canonical encoding length in bytes; used for
+// message-size accounting (experiment T6, history growth).
+func (h History) EncodedSize() int { return len(h.Key()) }

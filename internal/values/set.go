@@ -1,0 +1,199 @@
+package values
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a finite set of Values. The zero value is an empty set ready to
+// use for reads; use NewSet or Add (which allocates lazily) to build sets.
+//
+// Sets are the building block of every payload in the paper: PROPOSED,
+// WRITTEN and WRITTENOLD (Algorithms 2–4) are all value sets.
+type Set struct {
+	m map[Value]struct{}
+}
+
+// NewSet returns a set containing the given values.
+func NewSet(vs ...Value) Set {
+	s := Set{m: make(map[Value]struct{}, len(vs))}
+	for _, v := range vs {
+		s.m[v] = struct{}{}
+	}
+	return s
+}
+
+// Len returns the number of values in the set.
+func (s Set) Len() int { return len(s.m) }
+
+// IsEmpty reports whether the set has no values.
+func (s Set) IsEmpty() bool { return len(s.m) == 0 }
+
+// Contains reports whether v is in the set.
+func (s Set) Contains(v Value) bool {
+	_, ok := s.m[v]
+	return ok
+}
+
+// Add inserts v, allocating the underlying map if needed.
+func (s *Set) Add(v Value) {
+	if s.m == nil {
+		s.m = make(map[Value]struct{})
+	}
+	s.m[v] = struct{}{}
+}
+
+// AddAll inserts every value of t into s.
+func (s *Set) AddAll(t Set) {
+	for v := range t.m {
+		s.Add(v)
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := Set{m: make(map[Value]struct{}, len(s.m))}
+	for v := range s.m {
+		c.m[v] = struct{}{}
+	}
+	return c
+}
+
+// Union returns a new set with every value of s and t.
+func (s Set) Union(t Set) Set {
+	u := s.Clone()
+	u.AddAll(t)
+	return u
+}
+
+// Intersect returns a new set with the values present in both s and t.
+func (s Set) Intersect(t Set) Set {
+	small, large := s, t
+	if large.Len() < small.Len() {
+		small, large = large, small
+	}
+	out := NewSet()
+	for v := range small.m {
+		if large.Contains(v) {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// IntersectAll intersects all given sets. Following the convention used by
+// the algorithms (WRITTEN := ∩_{m∈M_i[k]} m over a non-empty inbox), the
+// intersection of zero sets is defined as the empty set: with no evidence,
+// nothing counts as written.
+func IntersectAll(sets []Set) Set {
+	if len(sets) == 0 {
+		return NewSet()
+	}
+	out := sets[0].Clone()
+	for _, t := range sets[1:] {
+		out = out.Intersect(t)
+		if out.IsEmpty() {
+			return out
+		}
+	}
+	return out
+}
+
+// UnionAll unions all given sets.
+func UnionAll(sets []Set) Set {
+	out := NewSet()
+	for _, t := range sets {
+		out.AddAll(t)
+	}
+	return out
+}
+
+// Without returns a new set equal to s minus the given values.
+func (s Set) Without(vs ...Value) Set {
+	out := s.Clone()
+	for _, v := range vs {
+		delete(out.m, v)
+	}
+	return out
+}
+
+// Equal reports whether s and t contain exactly the same values.
+func (s Set) Equal(t Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for v := range s.m {
+		if !t.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every value of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	if s.Len() > t.Len() {
+		return false
+	}
+	for v := range s.m {
+		if !t.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsExactly reports whether the set is exactly {v}, the shape tested by the
+// decide conditions (Algorithm 2 line 9, Algorithm 3 line 11).
+func (s Set) IsExactly(v Value) bool {
+	return s.Len() == 1 && s.Contains(v)
+}
+
+// Max returns the maximum value of the set and true, or ("", false) for an
+// empty set.
+func (s Set) Max() (Value, bool) {
+	var (
+		best  Value
+		found bool
+	)
+	for v := range s.m {
+		if !found || best.Less(v) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// Sorted returns the values in ascending order.
+func (s Set) Sorted() []Value {
+	out := make([]Value, 0, len(s.m))
+	for v := range s.m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Key returns the canonical encoding of the set. Two sets have equal keys
+// iff they are equal.
+func (s Set) Key() string {
+	var b strings.Builder
+	b.WriteString("S")
+	for _, v := range s.Sorted() {
+		encodeString(&b, string(v))
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer: "{a, b, ⊥}".
+func (s Set) String() string {
+	parts := make([]string, 0, s.Len())
+	for _, v := range s.Sorted() {
+		parts = append(parts, v.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// EncodedSize returns the length in bytes of the canonical encoding; the
+// simulator uses it to account message sizes (experiment T6).
+func (s Set) EncodedSize() int { return len(s.Key()) }

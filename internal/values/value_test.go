@@ -1,0 +1,77 @@
+package values
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBotProperties(t *testing.T) {
+	if !Bot.IsBot() {
+		t.Fatal("Bot.IsBot() = false")
+	}
+	if Bot.Valid() {
+		t.Error("Bot must not be a valid proposal value")
+	}
+	if Bot.String() != "⊥" {
+		t.Errorf("Bot.String() = %q, want ⊥", Bot.String())
+	}
+	if !Bot.Less(Num(0)) {
+		t.Error("Bot must sort below every numeric value")
+	}
+}
+
+func TestValueValid(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		want bool
+	}{
+		{"plain", Value("a"), true},
+		{"numeric", Num(7), true},
+		{"empty", Value(""), false},
+		{"bot", Bot, false},
+		{"reserved NUL prefix", Value("\x00x"), false},
+		{"unicode", Value("héllo"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Valid(); got != tt.want {
+				t.Errorf("Valid(%q) = %v, want %v", string(tt.v), got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNumOrderMatchesIntOrder(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		return Num(x).Less(Num(y)) == (x < y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumRoundTrip(t *testing.T) {
+	for _, i := range []int64{0, 1, 42, 999999999999} {
+		n, err := NumOf(Num(i))
+		if err != nil {
+			t.Fatalf("NumOf(Num(%d)): %v", i, err)
+		}
+		if n != i {
+			t.Errorf("NumOf(Num(%d)) = %d", i, n)
+		}
+	}
+	if _, err := NumOf(Value("zebra")); err == nil {
+		t.Error("NumOf of non-numeric value must fail")
+	}
+}
+
+func TestNumPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Num(-1) must panic")
+		}
+	}()
+	Num(-1)
+}

@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+func randSet(bs []byte) values.Set {
+	s := values.NewSet()
+	for _, b := range bs {
+		s.Add(values.Num(int64(b % 32)))
+	}
+	return s
+}
+
+func randHistory(bs []byte) values.History {
+	h := values.NewHistory(values.Num(0))
+	for _, b := range bs {
+		h = h.Append(values.Num(int64(b % 4)))
+	}
+	return h
+}
+
+func TestEnvelopeRoundTripSetPayloads(t *testing.T) {
+	env := giraf.Envelope{
+		Round: 12,
+		Payloads: []giraf.Payload{
+			core.SetPayload{Proposed: values.NewSet(values.Num(1), values.Bot)},
+			core.SetPayload{Proposed: values.NewSet()},
+		},
+	}
+	data, err := EncodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 12 || len(got.Payloads) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i := range env.Payloads {
+		if got.Payloads[i].PayloadKey() != env.Payloads[i].PayloadKey() {
+			t.Errorf("payload %d key mismatch", i)
+		}
+	}
+}
+
+func TestEnvelopeRoundTripESSPayloads(t *testing.T) {
+	h := values.NewHistory(values.Num(1)).Append(values.Num(2))
+	c := values.NewCounters()
+	c.Set(values.NewHistory(values.Num(1)), 3)
+	c.Set(h, 7)
+	env := giraf.Envelope{
+		Round: 5,
+		Payloads: []giraf.Payload{
+			core.ESSPayload{
+				Proposed: values.NewSet(values.Num(2), values.Bot),
+				History:  h,
+				Counters: c,
+			},
+		},
+	}
+	data, err := EncodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := got.Payloads[0].(core.ESSPayload)
+	if gp.PayloadKey() != env.Payloads[0].PayloadKey() {
+		t.Error("ESS payload key mismatch after round trip")
+	}
+	if gp.Counters.Get(h) != 7 {
+		t.Errorf("counter = %d, want 7", gp.Counters.Get(h))
+	}
+}
+
+func TestQuickEnvelopeRoundTrip(t *testing.T) {
+	f := func(round uint16, setSeeds [][]byte, histSeed []byte, cnt uint8) bool {
+		env := giraf.Envelope{Round: int(round)}
+		if len(setSeeds) > 5 {
+			setSeeds = setSeeds[:5]
+		}
+		for i, seed := range setSeeds {
+			if i%2 == 0 {
+				env.Payloads = append(env.Payloads, core.SetPayload{Proposed: randSet(seed)})
+				continue
+			}
+			c := values.NewCounters()
+			h := randHistory(histSeed)
+			c.Set(h, int(cnt%50)+1)
+			env.Payloads = append(env.Payloads, core.ESSPayload{
+				Proposed: randSet(seed),
+				History:  h,
+				Counters: c,
+			})
+		}
+		data, err := EncodeEnvelope(env)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeEnvelope(data)
+		if err != nil || got.Round != env.Round || len(got.Payloads) != len(env.Payloads) {
+			return false
+		}
+		for i := range env.Payloads {
+			if got.Payloads[i].PayloadKey() != env.Payloads[i].PayloadKey() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _ = DecodeEnvelope(junk)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 800, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	data, err := EncodeEnvelope(giraf.Envelope{Round: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEnvelope(append(data, 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEncodeRejectsUnknownPayload(t *testing.T) {
+	if _, err := EncodeEnvelope(giraf.Envelope{Round: 1, Payloads: []giraf.Payload{bogusPayload{}}}); err == nil {
+		t.Error("unknown payload type accepted")
+	}
+}
+
+type bogusPayload struct{}
+
+func (bogusPayload) PayloadKey() string { return "bogus" }
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{[]byte("hello"), {}, []byte("world")}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %q, want %q", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("read past last frame must fail")
+	}
+}
+
+func TestFrameLengthLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxElement+1)); err == nil {
+		t.Error("oversized frame accepted on write")
+	}
+	// Hand-craft an oversized header.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame accepted on read")
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
