@@ -1,15 +1,15 @@
 package anonconsensus
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
-	"anonconsensus/internal/anonnet"
 	"anonconsensus/internal/core"
 	"anonconsensus/internal/giraf"
 	"anonconsensus/internal/obstruction"
 	"anonconsensus/internal/register"
-	"anonconsensus/internal/sim"
 	"anonconsensus/internal/values"
 	"anonconsensus/internal/weakset"
 )
@@ -22,6 +22,28 @@ type Value string
 // NumValue renders a non-negative integer as a Value whose string order
 // equals numeric order.
 func NumValue(i int64) Value { return Value(values.Num(i)) }
+
+// valid reports whether v is a usable proposal.
+func (v Value) valid() bool { return values.Value(v).Valid() }
+
+// toValues converts public values to the internal representation.
+func toValues(in []Value) []values.Value {
+	out := make([]values.Value, len(in))
+	for i, v := range in {
+		out[i] = values.Value(v)
+	}
+	return out
+}
+
+// automatonFactory builds the per-process consensus automata for env: the
+// single seam through which every transport reaches Algorithms 2 and 3.
+func automatonFactory(env Environment, proposals []Value) func(i int) giraf.Automaton {
+	props := toValues(proposals)
+	if env == EnvESS {
+		return func(i int) giraf.Automaton { return core.NewESS(props[i]) }
+	}
+	return func(i int) giraf.Automaton { return core.NewES(props[i]) }
+}
 
 // Environment selects the paper's synchrony assumption.
 type Environment int
@@ -49,7 +71,29 @@ func (e Environment) String() string {
 	}
 }
 
-// Config describes a consensus run.
+// ParseEnvironment is String's inverse (case-insensitively): "es" → EnvES,
+// "ess" → EnvESS. CLIs and config loaders should use it rather than
+// mapping names themselves.
+func ParseEnvironment(name string) (Environment, error) {
+	switch strings.ToLower(name) {
+	case "es":
+		return EnvES, nil
+	case "ess":
+		return EnvESS, nil
+	default:
+		return 0, fmt.Errorf("anonconsensus: unknown environment %q (want es or ess)", name)
+	}
+}
+
+// Config describes a consensus run for the Solve and Simulate
+// compatibility wrappers.
+//
+// Deprecated: new code should create a Node over an explicit Transport and
+// configure it with functional options (WithEnv, WithGST, WithSeed,
+// WithCrashes, WithStableSource, WithInterval, WithTimeout,
+// WithMaxRounds). Config remains fully functional — Solve and Simulate are
+// kept as thin wrappers over a single-instance Node — but new knobs are
+// added to the options API only.
 type Config struct {
 	// Proposals holds one initial value per process (length = #processes).
 	// Every value must be non-empty.
@@ -109,20 +153,19 @@ func (c *Config) env() Environment {
 	return c.Env
 }
 
-func (c *Config) proposals() []values.Value {
-	out := make([]values.Value, len(c.Proposals))
-	for i, p := range c.Proposals {
-		out[i] = values.Value(p)
+// session converts the legacy Config into the resolved option set used by
+// Node sessions.
+func (c *Config) session() options {
+	return options{
+		env:          c.env(),
+		gst:          c.GST,
+		stableSource: c.StableSource,
+		seed:         c.Seed,
+		crashes:      c.Crashes,
+		interval:     c.Interval,
+		timeout:      c.Timeout,
+		maxRounds:    c.MaxRounds,
 	}
-	return out
-}
-
-func (c *Config) automaton() func(i int) giraf.Automaton {
-	props := c.proposals()
-	if c.env() == EnvESS {
-		return func(i int) giraf.Automaton { return core.NewESS(props[i]) }
-	}
-	return func(i int) giraf.Automaton { return core.NewES(props[i]) }
 }
 
 // Decision is one process's outcome.
@@ -175,85 +218,32 @@ func (r *Result) Agreed() (v Value, ok bool) {
 // process, channel broadcast, real-time rounds). It returns when every
 // correct process decided or the timeout expired; individual Decisions
 // report who decided what.
+//
+// Solve is a compatibility wrapper over a Node running a single instance
+// on NewLiveTransport; long-lived callers should use Node directly.
 func Solve(cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	n := len(cfg.Proposals)
-	interval := cfg.Interval
-	if interval <= 0 {
-		interval = 5 * time.Millisecond
-	}
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = 30 * time.Second
-	}
-	var latency anonnet.LatencyModel
-	if cfg.env() == EnvESS {
-		latency = anonnet.ESSProfile{N: n, Interval: interval, Seed: cfg.Seed, GST: cfg.GST, Source: cfg.StableSource}
-	} else {
-		latency = anonnet.ESProfile{N: n, Interval: interval, Seed: cfg.Seed, GST: cfg.GST}
-	}
-	res, err := anonnet.Run(anonnet.Config{
-		N:                n,
-		Automaton:        cfg.automaton(),
-		Interval:         interval,
-		Latency:          latency,
-		Timeout:          timeout,
-		CrashAfterRounds: cfg.Crashes,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Elapsed: res.Elapsed}
-	for i, p := range res.Procs {
-		out.Decisions = append(out.Decisions, Decision{
-			Proc:    i,
-			Decided: p.Decided,
-			Value:   Value(p.Decision),
-			Round:   p.DecidedRound,
-			Crashed: p.Crashed,
-		})
-	}
-	return out, nil
+	return runCompat(NewLiveTransport(), cfg)
 }
 
 // Simulate runs consensus on the deterministic lockstep simulator with a
 // seeded adversarial schedule. Identical configs produce identical runs.
+//
+// Simulate is a compatibility wrapper over a Node running a single
+// instance on NewSimTransport; long-lived callers should use Node
+// directly.
 func Simulate(cfg Config) (*Result, error) {
+	return runCompat(NewSimTransport(), cfg)
+}
+
+// runCompat executes one legacy Config as a single-instance Node session.
+func runCompat(t Transport, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
+		t.Close()
 		return nil, err
 	}
-	var policy sim.Policy
-	if cfg.env() == EnvESS {
-		policy = &sim.ESS{GST: cfg.GST, StableSource: cfg.StableSource, Pre: sim.MS{Seed: cfg.Seed}}
-	} else {
-		policy = &sim.ES{GST: cfg.GST, Pre: sim.MS{Seed: cfg.Seed}}
-	}
-	opts := core.RunOpts{Policy: policy, Crashes: cfg.Crashes, MaxRounds: cfg.MaxRounds}
-	var (
-		res *sim.Result
-		err error
-	)
-	if cfg.env() == EnvESS {
-		res, err = core.RunESS(cfg.proposals(), opts)
-	} else {
-		res, err = core.RunES(cfg.proposals(), opts)
-	}
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Rounds: res.Rounds}
-	for i, st := range res.Statuses {
-		out.Decisions = append(out.Decisions, Decision{
-			Proc:    i,
-			Decided: st.Decided,
-			Value:   Value(st.Decision),
-			Round:   st.DecidedAt,
-			Crashed: st.Crashed,
-		})
-	}
-	return out, nil
+	node := newNode(t, cfg.session())
+	defer node.Close()
+	return node.Run(context.Background(), "config", cfg.Proposals)
 }
 
 // WeakSet is the anonymous shared-set data structure of §5: adds are

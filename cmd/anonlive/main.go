@@ -1,14 +1,16 @@
 // Command anonlive runs anonymous consensus over a live in-process network
 // (one goroutine per process, channel broadcast with per-link latencies)
-// and narrates the outcome.
+// and narrates each instance's outcome as it completes.
 //
 // Usage:
 //
 //	anonlive -n 5 -env ess -gst 6 -source 2 -interval 5ms
 //	anonlive -n 8 -env es -crash 0:2 -crash 3:5
+//	anonlive -n 5 -instances 3        # several instances over one session
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,72 +45,105 @@ func (c crashFlags) Set(s string) error {
 
 func main() {
 	var (
-		n        = flag.Int("n", 5, "number of anonymous processes")
-		env      = flag.String("env", "es", "environment: es or ess")
-		gst      = flag.Int("gst", 6, "stabilization round")
-		source   = flag.Int("source", 0, "eventual stable source (ess only)")
-		seed     = flag.Int64("seed", 1, "adversary seed")
-		interval = flag.Duration("interval", 5*time.Millisecond, "round timer period")
-		timeout  = flag.Duration("timeout", 30*time.Second, "run timeout")
-		crashes  = crashFlags{}
+		n         = flag.Int("n", 5, "number of anonymous processes")
+		env       = flag.String("env", "es", "environment: es or ess")
+		gst       = flag.Int("gst", 6, "stabilization round")
+		source    = flag.Int("source", 0, "eventual stable source (ess only)")
+		seed      = flag.Int64("seed", 1, "adversary seed")
+		interval  = flag.Duration("interval", 5*time.Millisecond, "round timer period")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-instance timeout")
+		instances = flag.Int("instances", 1, "number of consensus instances to run over the session")
+		crashes   = crashFlags{}
 	)
 	flag.Var(crashes, "crash", "crash schedule pid:round (repeatable)")
 	flag.Parse()
 
-	if err := run(*n, *env, *gst, *source, *seed, *interval, *timeout, crashes); err != nil {
+	if err := run(*n, *env, *gst, *source, *seed, *interval, *timeout, *instances, crashes); err != nil {
 		fmt.Fprintln(os.Stderr, "anonlive:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, envName string, gst, source int, seed int64, interval, timeout time.Duration, crashes crashFlags) error {
-	var env anonconsensus.Environment
-	switch strings.ToLower(envName) {
-	case "es":
-		env = anonconsensus.EnvES
-	case "ess":
-		env = anonconsensus.EnvESS
-	default:
-		return fmt.Errorf("unknown environment %q (want es or ess)", envName)
+func run(n int, envName string, gst, source int, seed int64, interval, timeout time.Duration, instances int, crashes crashFlags) error {
+	env, err := anonconsensus.ParseEnvironment(envName)
+	if err != nil {
+		return err
+	}
+	if instances < 1 {
+		return fmt.Errorf("need at least 1 instance, got %d", instances)
 	}
 
-	proposals := make([]anonconsensus.Value, n)
-	for i := range proposals {
-		proposals[i] = anonconsensus.NumValue(int64(100 + i))
+	node, err := anonconsensus.NewNode(anonconsensus.NewLiveTransport(),
+		anonconsensus.WithEnv(env),
+		anonconsensus.WithGST(gst),
+		anonconsensus.WithStableSource(source),
+		anonconsensus.WithSeed(seed),
+		anonconsensus.WithCrashes(crashes),
+		anonconsensus.WithInterval(interval),
+		anonconsensus.WithTimeout(timeout),
+	)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("starting %d anonymous processes in %s (GST=%d, seed=%d, interval=%s)\n",
-		n, env, gst, seed, interval)
+	defer node.Close()
+
+	fmt.Printf("session: %d anonymous processes in %s over the %s transport (GST=%d, seed=%d, interval=%s)\n",
+		n, env, node.Transport().Name(), gst, seed, interval)
 	for pid, r := range crashes {
 		fmt.Printf("  process %d will crash after round %d\n", pid, r)
 	}
 
-	res, err := anonconsensus.Solve(anonconsensus.Config{
-		Proposals:    proposals,
-		Env:          env,
-		GST:          gst,
-		StableSource: source,
-		Seed:         seed,
-		Crashes:      crashes,
-		Interval:     interval,
-		Timeout:      timeout,
-	})
-	if err != nil {
-		return err
-	}
-
-	for _, d := range res.Decisions {
-		switch {
-		case d.Crashed:
-			fmt.Printf("  p%-2d crashed\n", d.Proc)
-		case d.Decided:
-			fmt.Printf("  p%-2d decided %s in round %d\n", d.Proc, d.Value, d.Round)
-		default:
-			fmt.Printf("  p%-2d undecided at timeout\n", d.Proc)
+	// Enqueue every instance up front; the node runs them in order. The
+	// Decisions feed narrates (best-effort by design), while Wait is the
+	// authoritative per-instance outcome the exit status hangs on.
+	ctx := context.Background()
+	ids := make([]string, instances)
+	for k := 0; k < instances; k++ {
+		proposals := make([]anonconsensus.Value, n)
+		for i := range proposals {
+			proposals[i] = anonconsensus.NumValue(int64(100*(k+1) + i))
+		}
+		ids[k] = fmt.Sprintf("instance-%d", k+1)
+		if err := node.Propose(ctx, ids[k], proposals); err != nil {
+			return err
 		}
 	}
-	if v, ok := res.Agreed(); ok {
-		fmt.Printf("consensus on %s in %s\n", v, res.Elapsed.Round(time.Millisecond))
-		return nil
+
+	printerDone := make(chan struct{})
+	go func() {
+		defer close(printerDone)
+		for ev := range node.Decisions() {
+			switch ev.Kind {
+			case anonconsensus.EventInstanceStarted:
+				fmt.Printf("== %s started ==\n", ev.Instance)
+			case anonconsensus.EventDecision:
+				fmt.Printf("  p%-2d decided %s in round %d\n", ev.Decision.Proc, ev.Decision.Value, ev.Decision.Round)
+			}
+		}
+	}()
+
+	for _, id := range ids {
+		res, err := node.Wait(ctx, id)
+		if err != nil {
+			return err
+		}
+		for _, d := range res.Decisions {
+			switch {
+			case d.Crashed:
+				fmt.Printf("  p%-2d crashed\n", d.Proc)
+			case !d.Decided:
+				fmt.Printf("  p%-2d undecided at timeout\n", d.Proc)
+			}
+		}
+		v, ok := res.Agreed()
+		if !ok {
+			return fmt.Errorf("%s: no consensus within %s", id, timeout)
+		}
+		fmt.Printf("== %s: consensus on %s in %s ==\n", id, v, res.Elapsed.Round(time.Millisecond))
 	}
-	return fmt.Errorf("no consensus within %s", timeout)
+	// Close terminates the feed; joining the printer keeps the last
+	// instance's narration from being lost at process exit.
+	node.Close()
+	<-printerDone
+	return nil
 }

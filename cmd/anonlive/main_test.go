@@ -27,19 +27,34 @@ func TestCrashFlagsParsing(t *testing.T) {
 }
 
 func TestRunRejectsUnknownEnv(t *testing.T) {
-	if err := run(3, "banana", 2, 0, 1, time.Millisecond, time.Second, crashFlags{}); err == nil {
+	if err := run(3, "banana", 2, 0, 1, time.Millisecond, time.Second, 1, crashFlags{}); err == nil {
 		t.Error("unknown environment accepted")
 	}
 }
 
+func TestRunRejectsZeroInstances(t *testing.T) {
+	if err := run(3, "es", 2, 0, 1, time.Millisecond, time.Second, 0, crashFlags{}); err == nil {
+		t.Error("zero instances accepted")
+	}
+}
+
 func TestRunLiveEndToEnd(t *testing.T) {
-	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, crashFlags{}); err != nil {
+	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, 1, crashFlags{}); err != nil {
 		t.Errorf("es run failed: %v", err)
 	}
 }
 
 func TestRunLiveESSWithCrash(t *testing.T) {
-	if err := run(4, "ess", 3, 2, 1, 4*time.Millisecond, 30*time.Second, crashFlags{0: 2}); err != nil {
+	if err := run(4, "ess", 3, 2, 1, 4*time.Millisecond, 30*time.Second, 1, crashFlags{0: 2}); err != nil {
 		t.Errorf("ess run failed: %v", err)
+	}
+}
+
+func TestRunLiveMultiInstanceSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple live instances in -short mode")
+	}
+	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, 3, crashFlags{}); err != nil {
+		t.Errorf("multi-instance session failed: %v", err)
 	}
 }

@@ -21,13 +21,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"time"
 
-	"anonconsensus/internal/core"
-	"anonconsensus/internal/giraf"
-	"anonconsensus/internal/tcpnet"
-	"anonconsensus/internal/values"
+	"anonconsensus"
 )
 
 func main() {
@@ -61,7 +57,7 @@ func run(hub bool, listen, connect string, propose int64, env string, interval, 
 }
 
 func runHub(listen string) error {
-	h, err := tcpnet.NewHub(listen)
+	h, err := anonconsensus.NewTCPHub(listen)
 	if err != nil {
 		return err
 	}
@@ -75,34 +71,28 @@ func runHub(listen string) error {
 	return nil
 }
 
-func runNode(addr string, propose int64, env string, interval, timeout time.Duration) error {
+func runNode(addr string, propose int64, envName string, interval, timeout time.Duration) error {
 	if propose < 0 {
 		return fmt.Errorf("node mode needs -propose <non-negative value>")
 	}
-	v := values.Num(propose)
-	var aut giraf.Automaton
-	switch strings.ToLower(env) {
-	case "es":
-		aut = core.NewES(v)
-	case "ess":
-		aut = core.NewESS(v)
-	default:
-		return fmt.Errorf("unknown algorithm %q (want es or ess)", env)
-	}
-	fmt.Printf("joining %s anonymously, proposing %s (%s, round interval %s)\n",
-		addr, v, strings.ToUpper(env), interval)
-	res, err := tcpnet.RunNode(context.Background(), tcpnet.NodeConfig{
-		HubAddr:   addr,
-		Automaton: aut,
-		Interval:  interval,
-		Timeout:   timeout,
-	})
+	env, err := anonconsensus.ParseEnvironment(envName)
 	if err != nil {
 		return err
 	}
-	if !res.Decided {
-		return fmt.Errorf("undecided after %d rounds (timeout %s) — are enough peers connected?", res.Rounds, timeout)
+	v := anonconsensus.NumValue(propose)
+	fmt.Printf("joining %s anonymously, proposing %s (%s, round interval %s)\n",
+		addr, v, env, interval)
+	d, err := anonconsensus.JoinTCP(context.Background(), addr, v,
+		anonconsensus.WithEnv(env),
+		anonconsensus.WithInterval(interval),
+		anonconsensus.WithTimeout(timeout),
+	)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("decided %s in round %d\n", res.Decision, res.Round)
+	if !d.Decided {
+		return fmt.Errorf("undecided at timeout %s — are enough peers connected?", timeout)
+	}
+	fmt.Printf("decided %s in round %d\n", d.Value, d.Round)
 	return nil
 }

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"anonconsensus/internal/tcpnet"
+	"anonconsensus"
 )
 
 func TestRunRequiresMode(t *testing.T) {
@@ -24,7 +24,7 @@ func TestRunNodeValidation(t *testing.T) {
 }
 
 func TestNodesAgreeOverLocalTCP(t *testing.T) {
-	hub, err := tcpnet.NewHub("127.0.0.1:0")
+	hub, err := anonconsensus.NewTCPHub("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,5 +1,6 @@
 // Command anonsim regenerates the reproduction experiments (EXPERIMENTS.md
-// tables T1–T10 and figures F1–F3) from scratch.
+// tables T1–T10 and figures F1–F3) from scratch, and demos the public Node
+// API on the deterministic backend.
 //
 // Usage:
 //
@@ -7,39 +8,45 @@
 //	anonsim -exp T3          run one experiment
 //	anonsim -all             run the whole suite
 //	anonsim -all -quick      shrunken grids (seconds instead of minutes)
+//	anonsim -session 3       run N consensus instances over one Node session
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"anonconsensus"
 	"anonconsensus/internal/expt"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		expID = flag.String("exp", "", "run a single experiment (T1..T10, F1..F3)")
-		all   = flag.Bool("all", false, "run the whole suite")
-		quick = flag.Bool("quick", false, "shrink parameter grids for a fast pass")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		expID   = flag.String("exp", "", "run a single experiment (T1..T10, F1..F3)")
+		all     = flag.Bool("all", false, "run the whole suite")
+		quick   = flag.Bool("quick", false, "shrink parameter grids for a fast pass")
+		session = flag.Int("session", 0, "run this many consensus instances over one Node session (sim transport)")
 	)
 	flag.Parse()
 
-	if err := run(*list, *expID, *all, *quick); err != nil {
+	if err := run(*list, *expID, *all, *quick, *session); err != nil {
 		fmt.Fprintln(os.Stderr, "anonsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, expID string, all, quick bool) error {
+func run(list bool, expID string, all, quick bool, session int) error {
 	switch {
 	case list:
 		for _, e := range expt.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
+	case session > 0:
+		return runSession(session)
 	case expID != "":
 		e, ok := expt.ByID(expID)
 		if !ok {
@@ -55,8 +62,64 @@ func run(list bool, expID string, all, quick bool) error {
 		return nil
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -list, -exp or -all")
+		return fmt.Errorf("nothing to do: pass -list, -exp, -all or -session")
 	}
+}
+
+// runSession demos the public API: one long-lived Node over the
+// deterministic sim transport, running a sequence of instances whose
+// decisions stream in as they happen.
+func runSession(instances int) error {
+	node, err := anonconsensus.NewNode(anonconsensus.NewSimTransport(),
+		anonconsensus.WithEnv(anonconsensus.EnvES),
+		anonconsensus.WithGST(6),
+		anonconsensus.WithSeed(1),
+	)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	// The feed narrates; Wait is the authoritative outcome per instance.
+	ctx := context.Background()
+	ids := make([]string, instances)
+	for k := 0; k < instances; k++ {
+		proposals := []anonconsensus.Value{
+			anonconsensus.NumValue(int64(10*k + 1)),
+			anonconsensus.NumValue(int64(10*k + 2)),
+			anonconsensus.NumValue(int64(10*k + 3)),
+		}
+		ids[k] = fmt.Sprintf("instance-%d", k+1)
+		if err := node.Propose(ctx, ids[k], proposals,
+			anonconsensus.WithSeed(int64(k+1))); err != nil {
+			return err
+		}
+	}
+	printerDone := make(chan struct{})
+	go func() {
+		defer close(printerDone)
+		for ev := range node.Decisions() {
+			if ev.Kind == anonconsensus.EventDecision {
+				fmt.Printf("  %s: p%d decided %s (round %d)\n", ev.Instance, ev.Decision.Proc, ev.Decision.Value, ev.Decision.Round)
+			}
+		}
+	}()
+	for _, id := range ids {
+		res, err := node.Wait(ctx, id)
+		if err != nil {
+			return err
+		}
+		v, ok := res.Agreed()
+		if !ok {
+			return fmt.Errorf("%s: no agreement", id)
+		}
+		fmt.Printf("%s: consensus on %s in %d rounds\n", id, v, res.Rounds)
+	}
+	// Close terminates the feed; joining the printer keeps the last
+	// instance's narration from being lost at process exit.
+	node.Close()
+	<-printerDone
+	return nil
 }
 
 func runOne(e expt.Experiment, quick bool) error {

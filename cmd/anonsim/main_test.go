@@ -5,25 +5,31 @@ import (
 )
 
 func TestRunList(t *testing.T) {
-	if err := run(true, "", false, false); err != nil {
+	if err := run(true, "", false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleQuick(t *testing.T) {
-	if err := run(false, "T10", false, true); err != nil {
+	if err := run(false, "T10", false, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(false, "T99", false, true); err == nil {
+	if err := run(false, "T99", false, true, 0); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunNothingToDo(t *testing.T) {
-	if err := run(false, "", false, false); err == nil {
+	if err := run(false, "", false, false, 0); err == nil {
 		t.Error("empty invocation must error")
+	}
+}
+
+func TestRunSession(t *testing.T) {
+	if err := run(false, "", false, false, 3); err != nil {
+		t.Fatalf("session demo failed: %v", err)
 	}
 }

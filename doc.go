@@ -4,21 +4,62 @@
 // weak-sets and register emulations for networks where processes have no
 // identities and do not know how many peers exist.
 //
-// The package offers three entry points:
+// # Sessions: Node over a Transport
 //
-//   - Solve runs consensus over a live in-process network: one goroutine
-//     per anonymous process, channel broadcast with configurable link
-//     latencies realizing the paper's ES (eventually synchronous) and ESS
-//     (eventually stable source) environments.
+// The primary API is a long-lived Node running a sequence of consensus
+// instances over one Transport:
 //
-//   - Simulate runs the same algorithms on the deterministic lockstep
-//     simulator with seeded adversarial schedules, crash injection and
-//     machine-checked environment properties — the engine behind the
-//     reproduction experiments (see EXPERIMENTS.md).
+//	node, err := anonconsensus.NewNode(anonconsensus.NewLiveTransport(),
+//		anonconsensus.WithEnv(anonconsensus.EnvES),
+//		anonconsensus.WithGST(5))
+//	defer node.Close()
+//	res, err := node.Run(ctx, "epoch-1", proposals)
 //
-//   - NewWeakSet / NewRegister expose the paper's shared-memory side: the
-//     weak-set data structure (§5) and the regular register built from it
-//     (Proposition 1).
+// Propose enqueues instances without blocking on their runs, Decisions
+// streams outcomes instance by instance as each run completes (one event
+// per deciding process), Wait collects a single instance's Result, and
+// every run is cancellable through its context.Context. Options (WithEnv, WithGST, WithSeed, WithCrashes,
+// WithStableSource, WithInterval, WithTimeout, WithMaxRounds) set session
+// defaults and can be overridden per instance.
+//
+// Three transports realize the paper's environments on different
+// substrates behind the one interface:
+//
+//   - NewLiveTransport: a live in-process network — one goroutine per
+//     anonymous process, channel broadcast with configurable link
+//     latencies realizing ES (eventually synchronous) and ESS (eventually
+//     stable source) physically, with drifting local round timers.
+//
+//   - NewSimTransport: the deterministic lockstep simulator with seeded
+//     adversarial schedules, crash injection and machine-checked
+//     environment properties — the engine behind the reproduction
+//     experiments (see EXPERIMENTS.md). Identical specs give identical
+//     Results.
+//
+//   - NewTCPTransport: real TCP through an anonymous broadcast hub;
+//     frames carry no sender identity and the hub relays without
+//     annotating origin. NewTCPHub and JoinTCP expose the same substrate
+//     for genuinely distributed deployments (see cmd/anonnode).
+//
+// # Compatibility policy
+//
+// The original one-shot entry points are kept as thin wrappers over a
+// single-instance Node: Solve (live network) and Simulate (deterministic
+// simulator), both driven by the legacy Config struct. Config is
+// deprecated but remains fully functional and behavior-preserving —
+// Simulate produces results identical to earlier releases on fixed seeds.
+// One deliberate exception: a Config.Crashes entry naming a process
+// outside the ensemble is now rejected by Solve as well (Simulate always
+// rejected it); earlier releases' Solve silently ignored such entries.
+// New knobs are added to the functional options only; new code should use
+// NewNode with an explicit Transport.
+//
+// # Shared memory side
+//
+// NewWeakSet / NewRegister expose the paper's shared-memory results: the
+// weak-set data structure (§5), the regular register built from it
+// (Proposition 1), and NewOFConsensus the cited obstruction-free
+// consensus.
 //
 // The algorithm internals live under internal/: see internal/core for
 // Algorithms 2 and 3 (including the pseudo leader election), internal/sim

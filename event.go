@@ -1,0 +1,46 @@
+package anonconsensus
+
+// EventKind discriminates the entries of a Node's Decisions() feed.
+type EventKind int
+
+// Event kinds, in the order they occur for one instance.
+const (
+	// EventInstanceStarted marks the moment the node's worker picked the
+	// instance up and handed it to the transport.
+	EventInstanceStarted EventKind = iota + 1
+	// EventDecision carries one process's decision for the instance; one
+	// event per process that decided.
+	EventDecision
+	// EventInstanceDone closes an instance: Result (or Err) is final.
+	EventInstanceDone
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventInstanceStarted:
+		return "started"
+	case EventDecision:
+		return "decision"
+	case EventInstanceDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of a Node's Decisions() feed.
+type Event struct {
+	// Instance is the instance ID passed to Propose.
+	Instance string
+	// Kind says what happened.
+	Kind EventKind
+	// Decision is set for EventDecision events.
+	Decision Decision
+	// Result is the instance's final outcome (EventInstanceDone, nil on
+	// error).
+	Result *Result
+	// Err is the instance's terminal error (EventInstanceDone only). A
+	// cancelled instance's Err wraps its context's error.
+	Err error
+}

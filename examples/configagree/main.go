@@ -3,12 +3,15 @@
 // an operator wants to know how long convergence takes as the network
 // stabilizes later and more workers crash — reproducibly.
 //
-// This example uses Simulate (the deterministic lockstep simulator) rather
-// than the live runtime: identical inputs give identical runs, so the
-// printed matrix is stable across machines and suitable for CI assertions.
+// This example runs the whole 4×4 what-if matrix as ONE Node session over
+// the deterministic sim transport: sixteen consensus instances in
+// sequence, each overriding the session's GST and crash schedule. The
+// simulator makes identical inputs give identical runs, so the printed
+// matrix is stable across machines and suitable for CI assertions.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +28,16 @@ func main() {
 		anonconsensus.NumValue(305),
 	}
 
+	node, err := anonconsensus.NewNode(anonconsensus.NewSimTransport(),
+		anonconsensus.WithEnv(anonconsensus.EnvES),
+		anonconsensus.WithSeed(99),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	ctx := context.Background()
+
 	fmt.Println("rounds until every surviving worker adopts the same epoch")
 	fmt.Println()
 	fmt.Printf("%-8s", "GST\\f")
@@ -40,13 +53,11 @@ func main() {
 			for i := 0; i < crashes; i++ {
 				crashMap[i] = 2 + 3*i // staggered failures
 			}
-			res, err := anonconsensus.Simulate(anonconsensus.Config{
-				Proposals: epochs,
-				Env:       anonconsensus.EnvES,
-				GST:       gst,
-				Seed:      99,
-				Crashes:   crashMap,
-			})
+			id := fmt.Sprintf("gst%d-f%d", gst, crashes)
+			res, err := node.Run(ctx, id, epochs,
+				anonconsensus.WithGST(gst),
+				anonconsensus.WithCrashes(crashMap),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -65,15 +76,14 @@ func main() {
 	}
 
 	fmt.Println()
-	v := mustAgree(epochs)
+	v := mustAgree(node, epochs)
 	fmt.Printf("every cell used the same decision rule; e.g. the gst=0,f=0 fleet adopted epoch %s\n", v)
 }
 
-func mustAgree(epochs []anonconsensus.Value) anonconsensus.Value {
-	res, err := anonconsensus.Simulate(anonconsensus.Config{
-		Proposals: epochs,
-		Env:       anonconsensus.EnvES,
-	})
+func mustAgree(node *anonconsensus.Node, epochs []anonconsensus.Value) anonconsensus.Value {
+	// Seventeenth instance over the same session: the zero-knob baseline.
+	res, err := node.Run(context.Background(), "baseline", epochs,
+		anonconsensus.WithGST(0), anonconsensus.WithSeed(0))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,9 +2,15 @@
 // agree on one of their proposed values over a live goroutine network that
 // becomes synchronous after a chaotic start (the ES environment,
 // Algorithm 2 of the paper).
+//
+// The session API: create a Node over a Transport, run instances over it,
+// and read outcomes. The same driver code works against the deterministic
+// simulator or real TCP — swap NewLiveTransport for NewSimTransport or
+// NewTCPTransport.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,22 +19,28 @@ import (
 )
 
 func main() {
-	res, err := anonconsensus.Solve(anonconsensus.Config{
-		// One proposal per process. The processes never learn which index
-		// they are — indexes exist only so the runner can report outcomes.
-		Proposals: []anonconsensus.Value{
-			anonconsensus.NumValue(11),
-			anonconsensus.NumValue(47),
-			anonconsensus.NumValue(23),
-			anonconsensus.NumValue(8),
-			anonconsensus.NumValue(35),
-		},
-		Env:      anonconsensus.EnvES,
-		GST:      5, // network stabilizes after round 5
-		Seed:     7, // pre-stabilization chaos
-		Interval: 5 * time.Millisecond,
-		Timeout:  30 * time.Second,
-	})
+	node, err := anonconsensus.NewNode(anonconsensus.NewLiveTransport(),
+		anonconsensus.WithEnv(anonconsensus.EnvES),
+		anonconsensus.WithGST(5), // network stabilizes after round 5
+		anonconsensus.WithSeed(7), // pre-stabilization chaos
+		anonconsensus.WithInterval(5*time.Millisecond),
+		anonconsensus.WithTimeout(30*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	// One proposal per process. The processes never learn which index they
+	// are — indexes exist only so the runner can report outcomes.
+	proposals := []anonconsensus.Value{
+		anonconsensus.NumValue(11),
+		anonconsensus.NumValue(47),
+		anonconsensus.NumValue(23),
+		anonconsensus.NumValue(8),
+		anonconsensus.NumValue(35),
+	}
+	res, err := node.Run(context.Background(), "quickstart", proposals)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,9 +8,14 @@
 // no sensor knows that) stays the best forever. That is exactly the ESS
 // environment, so Algorithm 3's pseudo leader election applies: sensors
 // elect leaders by comparing proposal histories, never learning names.
+//
+// The field reports every few minutes, so the session is long-lived: one
+// Node over the live transport, one consensus instance per reporting
+// period, decisions streaming on Decisions().
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,6 +24,23 @@ import (
 )
 
 func main() {
+	node, err := anonconsensus.NewNode(anonconsensus.NewLiveTransport(),
+		anonconsensus.WithEnv(anonconsensus.EnvESS),
+		anonconsensus.WithGST(8),          // radio settles after round 8
+		anonconsensus.WithStableSource(3), // the mast sensor: best channel forever after
+		anonconsensus.WithSeed(42),
+		anonconsensus.WithCrashes(map[int]int{
+			1: 2, // battery death almost immediately
+			6: 3, // another one a round later
+		}),
+		anonconsensus.WithInterval(5*time.Millisecond),
+		anonconsensus.WithTimeout(60*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
 	// Nine sensors, readings in deci-degrees. Duplicates are realistic:
 	// anonymous processes with equal state are literally indistinguishable
 	// and the algorithm must (and does) cope.
@@ -28,19 +50,7 @@ func main() {
 		proposals[i] = anonconsensus.NumValue(r)
 	}
 
-	res, err := anonconsensus.Solve(anonconsensus.Config{
-		Proposals:    proposals,
-		Env:          anonconsensus.EnvESS,
-		GST:          8, // radio settles after round 8
-		StableSource: 3, // the mast sensor: best channel forever after
-		Seed:         42,
-		Crashes: map[int]int{
-			1: 2, // battery death almost immediately
-			6: 3, // another one a round later
-		},
-		Interval: 5 * time.Millisecond,
-		Timeout:  60 * time.Second,
-	})
+	res, err := node.Run(context.Background(), "report-1", proposals)
 	if err != nil {
 		log.Fatal(err)
 	}

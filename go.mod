@@ -1,0 +1,3 @@
+module anonconsensus
+
+go 1.24

@@ -114,13 +114,19 @@ type network struct {
 	done chan int       // process indexes that finished (decided/crashed/cancelled)
 }
 
-// Run executes the live network until every process decided, crashed, or
-// the timeout expired.
-func Run(cfg Config) (*Result, error) {
+// Run executes the live network until every process decided, crashed, the
+// timeout expired, or the caller's context was cancelled. Cancellation of
+// the parent context aborts the run and returns an error wrapping
+// ctx.Err(); the run's own timeout is not an error — it simply yields
+// undecided processes.
+func Run(parent context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(parent, cfg.Timeout)
 	defer cancel()
 
 	nw := &network{
@@ -162,6 +168,9 @@ func Run(cfg Config) (*Result, error) {
 	cancel()
 	procWG.Wait()
 	nw.wg.Wait()
+	if err := parent.Err(); err != nil {
+		return nil, fmt.Errorf("anonnet: run cancelled: %w", err)
+	}
 	return &Result{Procs: results, Elapsed: time.Since(start)}, nil
 }
 

@@ -1,6 +1,8 @@
 package anonnet
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -40,7 +42,7 @@ func requireLiveConsensus(t *testing.T, res *Result, props []values.Value) {
 
 func TestLiveESSynchronous(t *testing.T) {
 	props := core.DistinctProposals(4)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         4,
 		Automaton: esFactory(props),
 		Interval:  liveInterval,
@@ -55,7 +57,7 @@ func TestLiveESSynchronous(t *testing.T) {
 
 func TestLiveESEventualSynchrony(t *testing.T) {
 	props := core.DistinctProposals(3)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         3,
 		Automaton: esFactory(props),
 		Interval:  liveInterval,
@@ -70,7 +72,7 @@ func TestLiveESEventualSynchrony(t *testing.T) {
 
 func TestLiveESSStableSource(t *testing.T) {
 	props := core.DistinctProposals(3)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         3,
 		Automaton: essFactory(props),
 		Interval:  liveInterval,
@@ -85,7 +87,7 @@ func TestLiveESSStableSource(t *testing.T) {
 
 func TestLiveESWithCrash(t *testing.T) {
 	props := core.DistinctProposals(4)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:                4,
 		Automaton:        esFactory(props),
 		Interval:         liveInterval,
@@ -106,7 +108,7 @@ func TestLiveMSSafetyOnly(t *testing.T) {
 	// Under a pure moving-source profile liveness is not guaranteed (FLP
 	// corollary); run briefly and assert safety of whatever happened.
 	props := core.SplitProposals(3, 2)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         3,
 		Automaton: esFactory(props),
 		Interval:  2 * time.Millisecond,
@@ -125,7 +127,7 @@ func TestLiveRoundsDrift(t *testing.T) {
 	// Processes run unsynchronized rounds; with per-link noise their round
 	// counters need not match, but all must have advanced.
 	props := core.DistinctProposals(3)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         3,
 		Automaton: esFactory(props),
 		Interval:  2 * time.Millisecond,
@@ -162,7 +164,7 @@ func TestLiveConfigValidation(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			cfg := base()
 			mutate(&cfg)
-			if _, err := Run(cfg); err == nil {
+			if _, err := Run(context.Background(), cfg); err == nil {
 				t.Error("invalid config accepted")
 			}
 		})
@@ -188,7 +190,7 @@ func TestLiveAsyncProfileCanBreakAgreement(t *testing.T) {
 	// genuinely can break — the paper's environment assumption is
 	// load-bearing, not decorative. Validity must survive regardless.
 	props := core.SplitProposals(3, 2)
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         3,
 		Automaton: esFactory(props),
 		Interval:  2 * time.Millisecond,
@@ -213,7 +215,7 @@ func TestOnRoundHookRunsInProcessGoroutine(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]int{}
 	props := core.DistinctProposals(3)
-	_, err := Run(Config{
+	_, err := Run(context.Background(), Config{
 		N:         3,
 		Automaton: esFactory(props),
 		Interval:  2 * time.Millisecond,
@@ -239,5 +241,30 @@ func TestOnRoundHookRunsInProcessGoroutine(t *testing.T) {
 		if seen[i] == 0 {
 			t.Errorf("hook never ran for process %d", i)
 		}
+	}
+}
+
+func TestRunParentContextCancellation(t *testing.T) {
+	// With a half-second round timer nothing can decide before the cancel
+	// fires; Run must return promptly with a wrapped context error.
+	props := core.DistinctProposals(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, Config{
+		N:         3,
+		Automaton: esFactory(props),
+		Interval:  500 * time.Millisecond,
+		Latency:   Sync{Interval: 500 * time.Millisecond},
+		Timeout:   5 * time.Minute,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation not prompt: %v", elapsed)
 	}
 }

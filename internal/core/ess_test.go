@@ -187,6 +187,9 @@ func TestESSLeaderSetConverges(t *testing.T) {
 }
 
 func TestESSUndecidedOnAlternatingMS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow suite in -short mode")
+	}
 	// ESS liveness genuinely needs the stable source: the alternating
 	// schedule (which satisfies MS but not ESS) can keep Algorithm 3
 	// undecided, while safety holds throughout.

@@ -89,6 +89,9 @@ func TestQuickESSFullConsensusUnderESS(t *testing.T) {
 }
 
 func TestQuickESSafetyUnderArbitraryMS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow suite in -short mode")
+	}
 	// Liveness may fail (plain MS), safety must not.
 	f := func(seed uint32, nRaw, distinctRaw, periodRaw, timelyRaw uint8) bool {
 		n := 2 + int(nRaw%5)
@@ -116,6 +119,9 @@ func TestQuickESSafetyUnderArbitraryMS(t *testing.T) {
 }
 
 func TestQuickESSSafetyUnderArbitraryMS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow suite in -short mode")
+	}
 	f := func(seed uint32, nRaw, distinctRaw, periodRaw, timelyRaw uint8) bool {
 		n := 2 + int(nRaw%5)
 		props := SplitProposals(n, 1+int(distinctRaw)%n)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"anonconsensus/internal/giraf"
 	"anonconsensus/internal/sim"
 	"anonconsensus/internal/values"
@@ -11,6 +13,10 @@ import (
 type RunOpts struct {
 	// Policy is the environment; required.
 	Policy sim.Policy
+	// Ctx, when non-nil, cancels the run between global steps (the public
+	// Node API threads its per-instance context through here). Nil means
+	// run to completion.
+	Ctx context.Context
 	// Crashes is the sim crash schedule (may be nil).
 	Crashes map[int]int
 	// MaxRounds bounds the run; 0 defaults to 10·n + 200.
@@ -28,9 +34,16 @@ func (o RunOpts) maxRounds(n int) int {
 	return 10*n + 200
 }
 
+func (o RunOpts) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
 // RunES simulates Algorithm 2 with one process per proposal value.
 func RunES(proposals []values.Value, opts RunOpts) (*sim.Result, error) {
-	return sim.Run(sim.Config{
+	return sim.RunContext(opts.ctx(), sim.Config{
 		N:           len(proposals),
 		Automaton:   func(i int) giraf.Automaton { return NewES(proposals[i]) },
 		Policy:      opts.Policy,
@@ -43,7 +56,7 @@ func RunES(proposals []values.Value, opts RunOpts) (*sim.Result, error) {
 
 // RunESS simulates Algorithm 3 with one process per proposal value.
 func RunESS(proposals []values.Value, opts RunOpts) (*sim.Result, error) {
-	return sim.Run(sim.Config{
+	return sim.RunContext(opts.ctx(), sim.Config{
 		N:           len(proposals),
 		Automaton:   func(i int) giraf.Automaton { return NewESS(proposals[i]) },
 		Policy:      opts.Policy,
@@ -57,7 +70,7 @@ func RunESS(proposals []values.Value, opts RunOpts) (*sim.Result, error) {
 // RunOmega simulates the Ω baseline. The oracle factory receives the
 // process index so tests can build eventually-accurate oracles.
 func RunOmega(proposals []values.Value, oracle func(i int) LeaderOracle, opts RunOpts) (*sim.Result, error) {
-	return sim.Run(sim.Config{
+	return sim.RunContext(opts.ctx(), sim.Config{
 		N:           len(proposals),
 		Automaton:   func(i int) giraf.Automaton { return NewOmegaConsensus(proposals[i], oracle(i)) },
 		Policy:      opts.Policy,

@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -236,11 +237,24 @@ func (e *Engine) crashedAt(pid, step int) bool {
 // Run executes the simulation and returns the result. The engine is
 // single-use: Run must be called once.
 func (e *Engine) Run() *Result {
+	res, _ := e.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cancellation: the engine checks ctx between
+// global steps and, when it fires, abandons the run and returns an error
+// wrapping ctx.Err(). A cancelled run returns a nil Result. The simulation
+// itself stays deterministic — cancellation only decides whether it
+// finishes.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	// Step 0: initialization end-of-round for every non-crashed process.
 	e.step(0)
 	allDone := false
 	step := 1
 	for ; step <= e.cfg.MaxRounds && !allDone; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run cancelled at step %d: %w", step, err)
+		}
 		e.deliverDue(step)
 		e.step(step)
 		if e.cfg.OnRound != nil {
@@ -280,7 +294,7 @@ func (e *Engine) Run() *Result {
 		Rounds:   rounds,
 		Metrics:  e.metrics,
 		Trace:    e.trace,
-	}
+	}, nil
 }
 
 // deliverDue merges all envelopes scheduled for this step into receivers.
@@ -383,11 +397,16 @@ func envelopeBytes(env giraf.Envelope) int {
 
 // Run is a convenience wrapper: build an engine and run it.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation between global steps.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	e, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(), nil
+	return e.RunContext(ctx)
 }
 
 // rngFor derives a deterministic rand.Rand for a given policy seed and

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"anonconsensus/internal/giraf"
@@ -355,5 +357,19 @@ func TestCompactInboxesPreservesConsensusBehaviour(t *testing.T) {
 			a.Statuses[i].DecidedAt != b.Statuses[i].DecidedAt {
 			t.Fatalf("compaction changed behaviour: %+v vs %+v", a.Statuses[i], b.Statuses[i])
 		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{
+		N:         3,
+		Automaton: floodFactory(0), // never decides
+		Policy:    Synchronous{},
+		MaxRounds: 1_000_000,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
 	}
 }

@@ -216,6 +216,10 @@ type NodeConfig struct {
 	// the pragmatic stand-in for the model's premise that all of Π is
 	// present from round 1.
 	JoinGrace time.Duration
+	// CrashAfterRounds stops the node after it executed that many
+	// end-of-rounds (simulated crash, mirroring anonnet's crash schedule).
+	// Zero means never.
+	CrashAfterRounds int
 }
 
 // NodeResult is a node's outcome.
@@ -225,6 +229,8 @@ type NodeResult struct {
 	Round    int
 	// Rounds is the number of end-of-rounds executed.
 	Rounds int
+	// Crashed reports whether the crash schedule stopped the node.
+	Crashed bool
 }
 
 // RunNode connects to the hub and drives the automaton until it decides or
@@ -300,6 +306,11 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 		case <-ticker.C:
 			if !started {
 				continue // still consuming the hub replay
+			}
+			if cfg.CrashAfterRounds > 0 && proc.CurrentRound() >= cfg.CrashAfterRounds {
+				res.Crashed = true
+				res.Rounds = proc.CurrentRound()
+				return res, nil
 			}
 			computing := proc.CurrentRound()
 			env, ok := proc.EndOfRound()

@@ -191,3 +191,32 @@ func TestTCPLateJoinerStillAgrees(t *testing.T) {
 		t.Fatal("nobody decided")
 	}
 }
+
+func TestTCPNodeCrashSchedule(t *testing.T) {
+	// One node crashes after two rounds; the survivors still agree and the
+	// crashed node reports Crashed rather than an error (crash-fault model).
+	props := core.DistinctProposals(3)
+	results := runCluster(t, 3, 8*time.Millisecond, func(i int) NodeConfig {
+		cfg := NodeConfig{
+			Automaton: core.NewES(props[i]),
+			Timeout:   30 * time.Second,
+		}
+		if i == 0 {
+			cfg.CrashAfterRounds = 2
+		}
+		return cfg
+	})
+	if !results[0].Crashed {
+		t.Error("node 0 should report Crashed")
+	}
+	decided := values.NewSet()
+	for i, r := range results[1:] {
+		if !r.Decided {
+			t.Fatalf("survivor %d undecided after %d rounds", i+1, r.Rounds)
+		}
+		decided.Add(r.Decision)
+	}
+	if decided.Len() != 1 {
+		t.Fatalf("agreement violated among survivors: %v", decided)
+	}
+}

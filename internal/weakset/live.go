@@ -1,6 +1,7 @@
 package weakset
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -85,7 +86,7 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 		procs = make([]*MSProc, cfg.N)
 		out   = &LiveResult{Checker: &Checker{}}
 	)
-	_, err := anonnet.Run(anonnet.Config{
+	_, err := anonnet.Run(context.Background(), anonnet.Config{
 		N: cfg.N,
 		Automaton: func(i int) giraf.Automaton {
 			procs[i] = NewMSProc()

@@ -9,6 +9,9 @@ import (
 )
 
 func TestLiveWeakSetSynchronousProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow suite in -short mode")
+	}
 	interval := 4 * time.Millisecond
 	res, err := RunLive(LiveConfig{
 		N: 4,
@@ -39,6 +42,9 @@ func TestLiveWeakSetSynchronousProfile(t *testing.T) {
 }
 
 func TestLiveWeakSetUnderMSProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow suite in -short mode")
+	}
 	// The moving-source profile: most links are slow, yet Algorithm 4's
 	// all-rounds union (Fresh) still completes every add.
 	interval := 3 * time.Millisecond

@@ -1,0 +1,453 @@
+package anonconsensus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNodeClosed is returned by Propose/Wait when the Node was closed.
+var ErrNodeClosed = errors.New("anonconsensus: node is closed")
+
+// instance is one queued/running/finished consensus instance.
+type instance struct {
+	spec InstanceSpec
+	ctx  context.Context
+
+	once sync.Once
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Node is a long-lived consensus session: it runs a sequence of instances
+// over one Transport, one at a time in Propose order, and streams their
+// outcomes on Decisions(). A Node owns its transport and closes it when
+// the Node is closed.
+//
+// Typical use:
+//
+//	node, _ := anonconsensus.NewNode(anonconsensus.NewLiveTransport(),
+//		anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(5))
+//	defer node.Close()
+//	res, err := node.Run(ctx, "epoch-1", proposals)
+//
+// or asynchronously: Propose several instances, consume Decisions(), and
+// Wait for the ones whose Result the caller needs. All methods are safe
+// for concurrent use.
+type Node struct {
+	transport Transport
+	session   options
+
+	queue chan *instance
+	stop  chan struct{} // closed by Close: cancels running work, stops the worker
+
+	mu        sync.Mutex
+	closed    bool
+	instances map[string]*instance
+
+	// Event feed: emitters append to evBuf (never blocking consensus
+	// work); the pump goroutine forwards to the events channel.
+	evMu   sync.Mutex
+	evCond *sync.Cond
+	evBuf  []Event
+	evEnd  bool
+	events chan Event
+
+	workerWG sync.WaitGroup
+	pumpWG   sync.WaitGroup
+}
+
+// NewNode starts a session over transport. The options become the
+// session's defaults; Propose can override them per instance. NewNode
+// validates the option set (for example an EnvESS session whose
+// WithStableSource process is also scheduled to crash by WithCrashes is
+// rejected here).
+func NewNode(transport Transport, opts ...Option) (*Node, error) {
+	if transport == nil {
+		return nil, fmt.Errorf("anonconsensus: nil transport")
+	}
+	var o options
+	if err := o.apply(opts); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return newNode(transport, o), nil
+}
+
+// newNode starts a session from an already-resolved option set (the
+// compatibility wrappers enter here with a validated legacy Config).
+func newNode(transport Transport, o options) *Node {
+	n := &Node{
+		transport: transport,
+		session:   o,
+		queue:     make(chan *instance, 64),
+		stop:      make(chan struct{}),
+		instances: make(map[string]*instance),
+		events:    make(chan Event, 128),
+	}
+	n.evCond = sync.NewCond(&n.evMu)
+	n.workerWG.Add(1)
+	go n.worker()
+	n.pumpWG.Add(1)
+	go n.pump()
+	return n
+}
+
+// Transport returns the session's transport (for logging / inspection).
+func (n *Node) Transport() Transport { return n.transport }
+
+// Propose enqueues one consensus instance: instanceID names it (unique
+// among the session's live — not yet consumed by Wait or Forget —
+// instances), proposals holds one initial value per anonymous process,
+// and opts override the session options for this instance only.
+//
+// Propose returns once the instance is accepted; the run happens on the
+// node's worker, in Propose order. ctx governs both the enqueue and the
+// instance's whole run — cancelling it aborts the instance, and Wait then
+// returns an error wrapping ctx.Err(). Outcomes stream on Decisions() and
+// are available from Wait.
+func (n *Node) Propose(ctx context.Context, instanceID string, proposals []Value, opts ...Option) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if instanceID == "" {
+		return fmt.Errorf("anonconsensus: empty instance ID")
+	}
+	spec, err := n.buildSpec(instanceID, proposals, opts)
+	if err != nil {
+		return err
+	}
+	inst := &instance{spec: spec, ctx: ctx, done: make(chan struct{})}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNodeClosed
+	}
+	if _, dup := n.instances[instanceID]; dup {
+		n.mu.Unlock()
+		return fmt.Errorf("anonconsensus: duplicate instance ID %q", instanceID)
+	}
+	n.instances[instanceID] = inst
+	n.mu.Unlock()
+
+	select {
+	case n.queue <- inst:
+	case <-ctx.Done():
+		err := fmt.Errorf("anonconsensus: instance %q: %w", instanceID, ctx.Err())
+		n.finish(inst, nil, err)
+		n.unregister(instanceID, inst)
+		return err
+	case <-n.stop:
+		n.finish(inst, nil, ErrNodeClosed)
+		n.unregister(instanceID, inst)
+		return ErrNodeClosed
+	}
+	// The node may have closed between the closed-check and the enqueue;
+	// if so the worker is gone and Close's drain may already have missed
+	// this instance — fail it here (finish is idempotent, so if the
+	// worker did pick it up, whoever runs first wins).
+	n.mu.Lock()
+	closedNow := n.closed
+	n.mu.Unlock()
+	if closedNow {
+		n.finish(inst, nil, ErrNodeClosed)
+		n.unregister(instanceID, inst)
+		return ErrNodeClosed
+	}
+	return nil
+}
+
+// unregister releases an instance whose Propose failed, so the ID is not
+// permanently occupied by work that never ran.
+func (n *Node) unregister(instanceID string, inst *instance) {
+	n.mu.Lock()
+	if n.instances[instanceID] == inst {
+		delete(n.instances, instanceID)
+	}
+	n.mu.Unlock()
+}
+
+// Run is Propose followed by Wait: it blocks until the instance finished
+// and returns its Result. Run owns its instance: if the wait itself fails
+// (ctx cancelled), the instance — aborted by the same ctx — is released
+// in the background once it finishes, so timed-out Runs do not accumulate.
+func (n *Node) Run(ctx context.Context, instanceID string, proposals []Value, opts ...Option) (*Result, error) {
+	if err := n.Propose(ctx, instanceID, proposals, opts...); err != nil {
+		return nil, err
+	}
+	res, err := n.Wait(ctx, instanceID)
+	if err != nil {
+		n.mu.Lock()
+		inst := n.instances[instanceID]
+		n.mu.Unlock()
+		if inst != nil {
+			go func() {
+				<-inst.done
+				n.unregister(instanceID, inst)
+			}()
+		}
+	}
+	return res, err
+}
+
+// Wait blocks until the named instance finished (decided, failed, or was
+// cancelled) and returns its outcome. ctx bounds the wait only — it does
+// not cancel the instance.
+//
+// Wait consumes the outcome: the instance is released from the session
+// (keeping a long-lived Node's memory bounded) and its ID becomes
+// available for reuse. A second Wait for the same ID reports it unknown.
+// Callers that drive the session through the Decisions() feed instead get
+// each outcome from the EventInstanceDone event and can release the
+// instance with Forget.
+func (n *Node) Wait(ctx context.Context, instanceID string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n.mu.Lock()
+	inst := n.instances[instanceID]
+	n.mu.Unlock()
+	if inst == nil {
+		return nil, fmt.Errorf("anonconsensus: unknown instance %q", instanceID)
+	}
+	select {
+	case <-inst.done:
+		n.mu.Lock()
+		if n.instances[instanceID] == inst {
+			delete(n.instances, instanceID)
+		}
+		n.mu.Unlock()
+		return inst.res, inst.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("anonconsensus: waiting for instance %q: %w", instanceID, ctx.Err())
+	}
+}
+
+// Forget releases a finished instance without collecting its outcome (for
+// sessions driven purely through the Decisions() feed). It reports whether
+// the instance existed and was finished; a still-pending or running
+// instance is not forgotten.
+func (n *Node) Forget(instanceID string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	inst := n.instances[instanceID]
+	if inst == nil {
+		return false
+	}
+	select {
+	case <-inst.done:
+		delete(n.instances, instanceID)
+		return true
+	default:
+		return false
+	}
+}
+
+// Decisions returns the session's event feed: an EventInstanceStarted,
+// zero or more EventDecision (one per process that decided) and an
+// EventInstanceDone per instance, in execution order. Events are emitted
+// when the instance's run completes — the granularity is per instance,
+// not mid-run. The feed is
+// best-effort buffered and never blocks consensus work: without a
+// consumer the oldest undelivered events are dropped beyond a bounded
+// backlog, and Close terminates the feed (undelivered events are then
+// dropped). Callers that need an instance's authoritative outcome should
+// use Wait.
+func (n *Node) Decisions() <-chan Event { return n.events }
+
+// Close shuts the session down: running work is cancelled, queued
+// instances fail with ErrNodeClosed, the Decisions feed is closed, and the
+// transport is closed. Close is idempotent.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	close(n.stop)
+	n.workerWG.Wait()
+	// The worker is gone: fail whatever is still queued.
+	for {
+		select {
+		case inst := <-n.queue:
+			n.finish(inst, nil, ErrNodeClosed)
+		default:
+			n.endEvents()
+			n.pumpWG.Wait()
+			return n.transport.Close()
+		}
+	}
+}
+
+// buildSpec resolves session options + per-instance overrides into a spec.
+func (n *Node) buildSpec(id string, proposals []Value, opts []Option) (InstanceSpec, error) {
+	o := n.session.clone()
+	if err := o.apply(opts); err != nil {
+		return InstanceSpec{}, err
+	}
+	if err := o.validate(); err != nil {
+		return InstanceSpec{}, err
+	}
+	props := make([]Value, len(proposals))
+	copy(props, proposals)
+	spec := InstanceSpec{
+		ID:           id,
+		Proposals:    props,
+		Env:          o.resolvedEnv(),
+		GST:          o.gst,
+		StableSource: o.stableSource,
+		Seed:         o.seed,
+		Crashes:      o.crashes,
+		Interval:     o.interval,
+		Timeout:      o.timeout,
+		MaxRounds:    o.maxRounds,
+	}
+	if err := spec.validate(); err != nil {
+		return InstanceSpec{}, err
+	}
+	return spec, nil
+}
+
+// worker runs queued instances one at a time, in Propose order. The stop
+// check is prioritized: once Close fired, queued work must not be started
+// (Go's select picks randomly among ready cases, so a single select would
+// sometimes run one more instance).
+func (n *Node) worker() {
+	defer n.workerWG.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		select {
+		case <-n.stop:
+			return
+		case inst := <-n.queue:
+			n.runInstance(inst)
+		}
+	}
+}
+
+// runInstance executes one instance on the transport, under a context that
+// dies with either the caller's ctx or the node itself.
+func (n *Node) runInstance(inst *instance) {
+	select {
+	case <-n.stop:
+		// Close won the race for this queued instance: fail it with the
+		// documented shutdown error, not a context-cancellation one.
+		n.finish(inst, nil, ErrNodeClosed)
+		return
+	default:
+	}
+	if err := inst.ctx.Err(); err != nil {
+		n.finish(inst, nil, fmt.Errorf("anonconsensus: instance %q: %w", inst.spec.ID, err))
+		return
+	}
+	runCtx, cancel := context.WithCancel(inst.ctx)
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-n.stop:
+			cancel()
+		case <-watchDone:
+		}
+	}()
+	n.emit(Event{Instance: inst.spec.ID, Kind: EventInstanceStarted})
+	res, err := n.transport.Run(runCtx, inst.spec)
+	close(watchDone)
+	cancel()
+	if err != nil {
+		n.finish(inst, nil, fmt.Errorf("anonconsensus: instance %q: %w", inst.spec.ID, err))
+		return
+	}
+	for _, d := range res.Decisions {
+		if d.Decided {
+			n.emit(Event{Instance: inst.spec.ID, Kind: EventDecision, Decision: d})
+		}
+	}
+	n.finish(inst, res, nil)
+}
+
+// finish records an instance's outcome exactly once and emits its
+// EventInstanceDone.
+func (n *Node) finish(inst *instance, res *Result, err error) {
+	inst.once.Do(func() {
+		inst.res, inst.err = res, err
+		n.emit(Event{Instance: inst.spec.ID, Kind: EventInstanceDone, Result: res, Err: err})
+		close(inst.done)
+	})
+}
+
+// maxBufferedEvents bounds the feed's backlog: with no consumer on
+// Decisions(), the oldest undelivered events are dropped beyond this.
+const maxBufferedEvents = 1024
+
+// emit appends to the event buffer; it never blocks, and it never lets an
+// absent consumer grow the buffer without bound.
+func (n *Node) emit(ev Event) {
+	n.evMu.Lock()
+	if !n.evEnd {
+		if len(n.evBuf) >= maxBufferedEvents {
+			n.evBuf = n.evBuf[1:]
+		}
+		n.evBuf = append(n.evBuf, ev)
+		n.evCond.Signal()
+	}
+	n.evMu.Unlock()
+}
+
+// endEvents stops the feed; the pump drains what it can and closes the
+// channel.
+func (n *Node) endEvents() {
+	n.evMu.Lock()
+	n.evEnd = true
+	n.evCond.Signal()
+	n.evMu.Unlock()
+}
+
+// pump forwards buffered events to the (buffered) events channel so that
+// a slow or absent consumer never stalls the worker.
+func (n *Node) pump() {
+	defer n.pumpWG.Done()
+	for {
+		n.evMu.Lock()
+		for len(n.evBuf) == 0 && !n.evEnd {
+			n.evCond.Wait()
+		}
+		if len(n.evBuf) == 0 {
+			n.evMu.Unlock()
+			close(n.events)
+			return
+		}
+		ev := n.evBuf[0]
+		n.evBuf = n.evBuf[1:]
+		ended := n.evEnd
+		n.evMu.Unlock()
+		if ended {
+			// Closing down: deliver only what fits without blocking.
+			select {
+			case n.events <- ev:
+			default:
+			}
+			continue
+		}
+		select {
+		case n.events <- ev:
+		case <-n.stop:
+			// Node closing: deliver what fits in the buffer, drop the rest.
+			select {
+			case n.events <- ev:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package anonconsensus
+
+import (
+	"fmt"
+	"time"
+)
+
+// options is the resolved knob set shared by Node sessions and individual
+// instances. Zero values mean "use the backend's default" so that the
+// compatibility wrappers reproduce the historical Config semantics
+// byte-for-byte.
+type options struct {
+	env          Environment
+	gst          int
+	stableSource int
+	seed         int64
+	crashes      map[int]int
+	interval     time.Duration
+	timeout      time.Duration
+	maxRounds    int
+}
+
+// Option configures a Node session (NewNode) or one instance
+// (Node.Propose). Per-instance options override the session's.
+type Option func(*options) error
+
+// clone deep-copies o so per-instance overrides never mutate the session.
+func (o options) clone() options {
+	out := o
+	if o.crashes != nil {
+		out.crashes = make(map[int]int, len(o.crashes))
+		for pid, r := range o.crashes {
+			out.crashes[pid] = r
+		}
+	}
+	return out
+}
+
+// apply folds opts into o, stopping at the first invalid option.
+func (o *options) apply(opts []Option) error {
+	for _, opt := range opts {
+		if opt == nil {
+			return fmt.Errorf("anonconsensus: nil option")
+		}
+		if err := opt(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the session-level consistency knowable before any
+// instance exists (no process count yet). Per-instance checks — index
+// ranges against the ensemble size — live in InstanceSpec.validate, the
+// single contract every Transport may assume.
+func (o *options) validate() error {
+	switch o.env {
+	case EnvES, EnvESS, 0:
+	default:
+		return fmt.Errorf("anonconsensus: unknown environment %d", int(o.env))
+	}
+	if o.resolvedEnv() == EnvESS {
+		if _, crashed := o.crashes[o.stableSource]; crashed {
+			return fmt.Errorf("anonconsensus: the stable source must stay correct")
+		}
+	}
+	return nil
+}
+
+func (o *options) resolvedEnv() Environment {
+	if o.env == 0 {
+		return EnvES
+	}
+	return o.env
+}
+
+// WithEnv selects the synchrony environment (EnvES or EnvESS).
+func WithEnv(env Environment) Option {
+	return func(o *options) error {
+		switch env {
+		case EnvES, EnvESS:
+			o.env = env
+			return nil
+		default:
+			return fmt.Errorf("anonconsensus: unknown environment %d", int(env))
+		}
+	}
+}
+
+// WithGST sets the stabilization round (0 = stable from the start).
+func WithGST(round int) Option {
+	return func(o *options) error {
+		if round < 0 {
+			return fmt.Errorf("anonconsensus: negative GST %d", round)
+		}
+		o.gst = round
+		return nil
+	}
+}
+
+// WithSeed seeds the pre-stabilization adversary.
+func WithSeed(seed int64) Option {
+	return func(o *options) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithStableSource names the process that is the eventual source (EnvESS
+// only). It must not also appear in the crash schedule.
+func WithStableSource(proc int) Option {
+	return func(o *options) error {
+		if proc < 0 {
+			return fmt.Errorf("anonconsensus: negative stable source %d", proc)
+		}
+		o.stableSource = proc
+		return nil
+	}
+}
+
+// WithCrashes schedules crashes: process index to the round (≥ 1) at
+// which it stops. The map is copied. Round 0 is rejected because the
+// backends disagree on its meaning (the simulator reads it as
+// "never initialized", the real-time transports as "never crashes");
+// requiring ≥ 1 keeps one spec portable across every Transport.
+func WithCrashes(crashes map[int]int) Option {
+	return func(o *options) error {
+		o.crashes = make(map[int]int, len(crashes))
+		for pid, round := range crashes {
+			if round < 1 {
+				return fmt.Errorf("anonconsensus: crash round %d for process %d (must be ≥ 1)", round, pid)
+			}
+			o.crashes[pid] = round
+		}
+		return nil
+	}
+}
+
+// WithInterval sets the round-timer period of the real-time transports
+// (live and TCP); the deterministic simulator ignores it.
+func WithInterval(d time.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("anonconsensus: non-positive interval %v", d)
+		}
+		o.interval = d
+		return nil
+	}
+}
+
+// WithTimeout bounds a real-time instance run (live and TCP transports).
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) error {
+		if d <= 0 {
+			return fmt.Errorf("anonconsensus: non-positive timeout %v", d)
+		}
+		o.timeout = d
+		return nil
+	}
+}
+
+// WithMaxRounds bounds a simulated instance run (sim transport); the
+// default is 10·n+200.
+func WithMaxRounds(rounds int) Option {
+	return func(o *options) error {
+		if rounds <= 0 {
+			return fmt.Errorf("anonconsensus: non-positive max rounds %d", rounds)
+		}
+		o.maxRounds = rounds
+		return nil
+	}
+}

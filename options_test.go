@@ -1,0 +1,154 @@
+package anonconsensus
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/sim"
+)
+
+func TestOptionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		opts []Option
+	}{
+		{"crashed stable source", []Option{
+			WithEnv(EnvESS), WithStableSource(1), WithCrashes(map[int]int{1: 3}),
+		}},
+		{"unknown env", []Option{WithEnv(Environment(42))}},
+		{"negative gst", []Option{WithGST(-1)}},
+		{"negative stable source", []Option{WithStableSource(-2)}},
+		{"negative crash round", []Option{WithCrashes(map[int]int{0: -1})}},
+		{"zero crash round", []Option{WithCrashes(map[int]int{0: 0})}},
+		{"zero interval", []Option{WithInterval(0)}},
+		{"zero timeout", []Option{WithTimeout(0)}},
+		{"zero max rounds", []Option{WithMaxRounds(0)}},
+		{"nil option", []Option{nil}},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			node, err := NewNode(NewSimTransport(), tt.opts...)
+			if err == nil {
+				node.Close()
+				t.Error("invalid option set accepted")
+			}
+		})
+	}
+	if _, err := NewNode(nil); err == nil {
+		t.Error("nil transport accepted")
+	}
+}
+
+func TestOptionValidationAtPropose(t *testing.T) {
+	node, err := NewNode(NewSimTransport(), WithEnv(EnvESS), WithStableSource(5))
+	if err != nil {
+		t.Fatal(err) // source index range is only checkable per instance
+	}
+	defer node.Close()
+	// Three proposals: stable source 5 is out of range.
+	if err := node.Propose(context.Background(), "bad", props(1, 2, 3)); err == nil {
+		t.Error("out-of-range stable source accepted")
+	}
+	// Crash schedule naming a process outside the ensemble.
+	if err := node.Propose(context.Background(), "bad2", props(1, 2, 3),
+		WithEnv(EnvES), WithCrashes(map[int]int{7: 1})); err == nil {
+		t.Error("out-of-range crash pid accepted")
+	}
+	// No proposals at all.
+	if err := node.Propose(context.Background(), "bad3", nil); err == nil {
+		t.Error("empty proposal list accepted")
+	}
+	// Invalid value.
+	if err := node.Propose(context.Background(), "bad4", []Value{""}); err == nil {
+		t.Error("invalid proposal accepted")
+	}
+}
+
+// TestSimulateWrapperMatchesSeedBehavior pins the compatibility promise:
+// the Simulate wrapper must produce results identical to the seed's direct
+// core/sim code path, field for field, on fixed seeds.
+func TestSimulateWrapperMatchesSeedBehavior(t *testing.T) {
+	configs := []Config{
+		{Proposals: props(1, 2, 3), Env: EnvES, GST: 6, Seed: 1},
+		{Proposals: props(5, 6, 7, 8), Env: EnvESS, GST: 8, StableSource: 2, Seed: 3, MaxRounds: 600},
+		{Proposals: props(1, 2, 3, 4), Env: EnvES, GST: 8, Seed: 42, Crashes: map[int]int{0: 3}},
+	}
+	for _, cfg := range configs {
+		got, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := seedSimulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("wrapper diverged from seed path:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// seedSimulate reproduces the seed release's Simulate body verbatim (the
+// reference the wrapper is held to).
+func seedSimulate(cfg Config) (*Result, error) {
+	var policy sim.Policy
+	if cfg.env() == EnvESS {
+		policy = &sim.ESS{GST: cfg.GST, StableSource: cfg.StableSource, Pre: sim.MS{Seed: cfg.Seed}}
+	} else {
+		policy = &sim.ES{GST: cfg.GST, Pre: sim.MS{Seed: cfg.Seed}}
+	}
+	opts := core.RunOpts{Policy: policy, Crashes: cfg.Crashes, MaxRounds: cfg.MaxRounds}
+	var (
+		res *sim.Result
+		err error
+	)
+	if cfg.env() == EnvESS {
+		res, err = core.RunESS(toValues(cfg.Proposals), opts)
+	} else {
+		res, err = core.RunES(toValues(cfg.Proposals), opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Rounds: res.Rounds}
+	for i, st := range res.Statuses {
+		out.Decisions = append(out.Decisions, Decision{
+			Proc:    i,
+			Decided: st.Decided,
+			Value:   Value(st.Decision),
+			Round:   st.DecidedAt,
+			Crashed: st.Crashed,
+		})
+	}
+	return out, nil
+}
+
+// TestSolveWrapperKeepsSeedShape checks the live wrapper end to end: same
+// Config surface, agreement reached, Elapsed populated — the seed
+// contract (live runs are wall-clock, so byte-identity is checked on the
+// deterministic backend above).
+func TestSolveWrapperKeepsSeedShape(t *testing.T) {
+	res, err := Solve(Config{
+		Proposals: props(10, 20, 30),
+		Env:       EnvES,
+		GST:       3,
+		Seed:      2,
+		Interval:  4 * time.Millisecond,
+		Timeout:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Agreed(); !ok {
+		t.Fatalf("no agreement: %+v", res.Decisions)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+	if len(res.Decisions) != 3 {
+		t.Errorf("want 3 decisions, got %d", len(res.Decisions))
+	}
+}

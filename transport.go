@@ -1,0 +1,108 @@
+package anonconsensus
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// InstanceSpec is one fully-described consensus instance, the unit of work
+// a Transport executes. Node builds specs from proposals plus resolved
+// options; zero-valued knobs mean "backend default" (Interval 5ms live /
+// 10ms TCP, Timeout 30s, MaxRounds 10·n+200) so the compatibility wrappers
+// reproduce the historical Config behavior exactly.
+type InstanceSpec struct {
+	// ID names the instance (unique within a Node session).
+	ID string
+	// Proposals holds one initial value per process.
+	Proposals []Value
+	// Env is the synchrony assumption (resolved: EnvES or EnvESS).
+	Env Environment
+	// GST is the stabilization round.
+	GST int
+	// StableSource is the eventual source (EnvESS only).
+	StableSource int
+	// Seed drives the pre-stabilization adversary.
+	Seed int64
+	// Crashes maps process index to its crash round.
+	Crashes map[int]int
+	// Interval is the round-timer period (real-time transports).
+	Interval time.Duration
+	// Timeout bounds the run (real-time transports).
+	Timeout time.Duration
+	// MaxRounds bounds the run (sim transport).
+	MaxRounds int
+}
+
+// N returns the number of processes.
+func (s *InstanceSpec) N() int { return len(s.Proposals) }
+
+// validate rejects malformed specs; transports may assume it passed.
+func (s *InstanceSpec) validate() error {
+	if len(s.Proposals) == 0 {
+		return fmt.Errorf("anonconsensus: no proposals")
+	}
+	for i, p := range s.Proposals {
+		if !p.valid() {
+			return fmt.Errorf("anonconsensus: proposal %d is invalid (%q)", i, string(p))
+		}
+	}
+	switch s.Env {
+	case EnvES, EnvESS:
+	default:
+		return fmt.Errorf("anonconsensus: unknown environment %d", int(s.Env))
+	}
+	if s.Env == EnvESS {
+		if s.StableSource < 0 || s.StableSource >= len(s.Proposals) {
+			return fmt.Errorf("anonconsensus: stable source %d outside [0,%d)", s.StableSource, len(s.Proposals))
+		}
+		if _, crashed := s.Crashes[s.StableSource]; crashed {
+			return fmt.Errorf("anonconsensus: the stable source must stay correct")
+		}
+	}
+	for pid, round := range s.Crashes {
+		if pid < 0 || pid >= len(s.Proposals) {
+			return fmt.Errorf("anonconsensus: crash schedule names process %d outside [0,%d)", pid, len(s.Proposals))
+		}
+		if round < 0 {
+			return fmt.Errorf("anonconsensus: negative crash round %d for process %d", round, pid)
+		}
+	}
+	return nil
+}
+
+// interval returns the resolved round-timer period.
+func (s *InstanceSpec) interval(def time.Duration) time.Duration {
+	if s.Interval > 0 {
+		return s.Interval
+	}
+	return def
+}
+
+// timeout returns the resolved run bound.
+func (s *InstanceSpec) timeout() time.Duration {
+	if s.Timeout > 0 {
+		return s.Timeout
+	}
+	return 30 * time.Second
+}
+
+// Transport runs consensus instances over one backend. The three built-in
+// transports — NewLiveTransport (in-process goroutine network),
+// NewSimTransport (deterministic lockstep simulator) and NewTCPTransport
+// (real TCP through an anonymous broadcast hub) — share this interface, so
+// a Node, a benchmark or a test can swap network realizations without
+// touching driver code.
+//
+// Implementations must honor ctx: a cancelled context aborts the run
+// promptly and Run returns an error wrapping ctx.Err().
+type Transport interface {
+	// Name identifies the backend ("live", "sim", "tcp").
+	Name() string
+	// Run executes one instance to completion and reports every process's
+	// outcome. Instances are independent: transports must not leak state
+	// (messages, rounds, decisions) between Run calls.
+	Run(ctx context.Context, spec InstanceSpec) (*Result, error)
+	// Close releases backend resources. A closed transport rejects Run.
+	Close() error
+}

@@ -1,0 +1,71 @@
+package anonconsensus
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/sim"
+)
+
+// simTransport adapts the deterministic lockstep simulator (internal/sim
+// driven through internal/core) to the Transport interface.
+type simTransport struct {
+	closed atomic.Bool
+}
+
+// NewSimTransport returns the deterministic simulator backend: seeded
+// adversarial schedules, lockstep rounds, identical specs produce
+// identical Results. Interval and Timeout are ignored; MaxRounds bounds
+// the run.
+func NewSimTransport() Transport { return &simTransport{} }
+
+// Name implements Transport.
+func (t *simTransport) Name() string { return "sim" }
+
+// Close implements Transport.
+func (t *simTransport) Close() error {
+	t.closed.Store(true)
+	return nil
+}
+
+// Run implements Transport.
+func (t *simTransport) Run(ctx context.Context, spec InstanceSpec) (*Result, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("anonconsensus: sim transport is closed")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	var policy sim.Policy
+	if spec.Env == EnvESS {
+		policy = &sim.ESS{GST: spec.GST, StableSource: spec.StableSource, Pre: sim.MS{Seed: spec.Seed}}
+	} else {
+		policy = &sim.ES{GST: spec.GST, Pre: sim.MS{Seed: spec.Seed}}
+	}
+	opts := core.RunOpts{Ctx: ctx, Policy: policy, Crashes: spec.Crashes, MaxRounds: spec.MaxRounds}
+	var (
+		res *sim.Result
+		err error
+	)
+	if spec.Env == EnvESS {
+		res, err = core.RunESS(toValues(spec.Proposals), opts)
+	} else {
+		res, err = core.RunES(toValues(spec.Proposals), opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Rounds: res.Rounds}
+	for i, st := range res.Statuses {
+		out.Decisions = append(out.Decisions, Decision{
+			Proc:    i,
+			Decided: st.Decided,
+			Value:   Value(st.Decision),
+			Round:   st.DecidedAt,
+			Crashed: st.Crashed,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package anonconsensus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonconsensus/internal/tcpnet"
+)
+
+// tcpTransport adapts the real-TCP runtime (internal/tcpnet) to the
+// Transport interface: every instance gets a fresh anonymous broadcast hub
+// on the loopback interface and one TCP connection per process.
+//
+// A fresh hub per instance is load-bearing, not convenience: the hub
+// replays its whole frame log to every connection and frames carry no
+// instance tag, so reusing a hub would deliver instance k's envelopes into
+// instance k+1.
+type tcpTransport struct {
+	listenAddr string
+	closed     atomic.Bool
+}
+
+// NewTCPTransport returns the real-TCP backend: an anonymous broadcast hub
+// is started per instance (loopback, ephemeral port) and every process
+// runs as a TCP client node. GST and Seed shape a wall-clock analogue of
+// the pre-stabilization chaos: until GST×Interval has elapsed, frame
+// forwards are jittered by 1.5–3.5 round intervals; afterwards they are
+// immediate, so both ES and ESS hold physically.
+func NewTCPTransport() Transport { return &tcpTransport{listenAddr: "127.0.0.1:0"} }
+
+// Name implements Transport.
+func (t *tcpTransport) Name() string { return "tcp" }
+
+// Close implements Transport.
+func (t *tcpTransport) Close() error {
+	t.closed.Store(true)
+	return nil
+}
+
+// tcpJitter is a tiny stateless mixer (FNV-1a) for per-forward delays.
+func tcpJitter(seed int64, conn, serial int) uint64 {
+	h := uint64(1469598103934665603) ^ uint64(seed)
+	for _, x := range [2]int{conn, serial} {
+		h ^= uint64(uint32(x))
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	return h
+}
+
+// Run implements Transport.
+func (t *tcpTransport) Run(ctx context.Context, spec InstanceSpec) (*Result, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("anonconsensus: tcp transport is closed")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	n := spec.N()
+	interval := spec.interval(10 * time.Millisecond)
+	start := time.Now()
+	chaosUntil := start.Add(time.Duration(spec.GST) * interval)
+
+	var serial atomic.Int64
+	delay := func(connIndex int) time.Duration {
+		if !time.Now().Before(chaosUntil) {
+			return 0
+		}
+		j := tcpJitter(spec.Seed, connIndex, int(serial.Add(1)))
+		return 3*interval/2 + time.Duration(j%2000)*interval/1000
+	}
+	hub, err := tcpnet.NewHub(t.listenAddr, tcpnet.WithForwardDelay(delay))
+	if err != nil {
+		return nil, err
+	}
+	defer hub.Close()
+
+	factory := automatonFactory(spec.Env, spec.Proposals)
+	results := make([]*tcpnet.NodeResult, n)
+	errs := make([]error, n)
+	// One node failing on infrastructure (lost hub connection, encode
+	// error) aborts the siblings immediately instead of letting them run
+	// out the full timeout.
+	runCtx, abort := context.WithCancel(ctx)
+	defer abort()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = tcpnet.RunNode(runCtx, tcpnet.NodeConfig{
+				HubAddr:          hub.Addr(),
+				Automaton:        factory(i),
+				Interval:         interval,
+				Timeout:          spec.timeout(),
+				CrashAfterRounds: spec.Crashes[i],
+			})
+			if errs[i] != nil {
+				abort()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("anonconsensus: tcp run cancelled: %w", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("anonconsensus: tcp node %d: %w", i, err)
+		}
+	}
+	out := &Result{Elapsed: time.Since(start)}
+	for i, r := range results {
+		out.Decisions = append(out.Decisions, Decision{
+			Proc:    i,
+			Decided: r.Decided,
+			Value:   Value(r.Decision),
+			Round:   r.Round,
+			Crashed: r.Crashed,
+		})
+	}
+	return out, nil
+}
+
+// TCPHub is the public handle on the anonymous broadcast relay, for
+// deployments where processes are separate OS processes or machines (see
+// cmd/anonnode). It relays frames verbatim with no origin information; all
+// algorithmic work happens in the joined nodes.
+type TCPHub struct {
+	inner *tcpnet.Hub
+}
+
+// NewTCPHub starts a hub listening on addr (e.g. "127.0.0.1:7777" or
+// ":0" for an ephemeral port).
+func NewTCPHub(addr string) (*TCPHub, error) {
+	h, err := tcpnet.NewHub(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPHub{inner: h}, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *TCPHub) Addr() string { return h.inner.Addr() }
+
+// Close stops the hub and all its connections.
+func (h *TCPHub) Close() error { return h.inner.Close() }
+
+// JoinTCP joins the hub at hubAddr as one anonymous process proposing
+// proposal, and blocks until that process decides, the run times out, or
+// ctx is cancelled. The relevant options are WithEnv, WithInterval and
+// WithTimeout; the returned Decision's Proc is always 0 (the process is
+// anonymous — there is no meaningful index).
+func JoinTCP(ctx context.Context, hubAddr string, proposal Value, opts ...Option) (Decision, error) {
+	var o options
+	if err := o.apply(opts); err != nil {
+		return Decision{}, err
+	}
+	if err := o.validate(); err != nil {
+		return Decision{}, err
+	}
+	if !proposal.valid() {
+		return Decision{}, fmt.Errorf("anonconsensus: invalid proposal %q", string(proposal))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	factory := automatonFactory(o.resolvedEnv(), []Value{proposal})
+	res, err := tcpnet.RunNode(ctx, tcpnet.NodeConfig{
+		HubAddr:   hubAddr,
+		Automaton: factory(0),
+		Interval:  o.interval,
+		Timeout:   o.timeout,
+	})
+	if err != nil {
+		return Decision{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Decision{}, fmt.Errorf("anonconsensus: tcp join cancelled: %w", err)
+	}
+	return Decision{
+		Decided: res.Decided,
+		Value:   Value(res.Decision),
+		Round:   res.Round,
+		Crashed: res.Crashed,
+	}, nil
+}
