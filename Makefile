@@ -1,0 +1,40 @@
+# Developer entry points. CI runs the same targets.
+
+# bash + pipefail so a failing `go test -bench` fails the bench pipeline
+# instead of being masked by the benchjson stage.
+SHELL       := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+GO        ?= go
+BENCHTIME ?= 10x
+BENCHOUT  ?= BENCH_consensus.json
+FUZZTIME  ?= 10s
+
+.PHONY: test build vet bench fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the T1–T10/F1–F3 experiment suite plus the hot-path
+# micro-benchmarks with allocation stats and appends a labelled run to the
+# benchmark trajectory file (see PERFORMANCE.md).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./tools/benchjson -label "$(or $(LABEL),local $(shell git rev-parse --short HEAD 2>/dev/null))" -out $(BENCHOUT)
+
+# fuzz-smoke gives each native fuzz target a short budget; CI runs it on
+# every push so codec and framing regressions surface before a long fuzz
+# campaign would.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSetCodec$$' -fuzztime $(FUZZTIME) ./internal/values
+	$(GO) test -run '^$$' -fuzz '^FuzzPairCodec$$' -fuzztime $(FUZZTIME) ./internal/values
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDeltaEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/wire

@@ -21,7 +21,7 @@ import (
 func main() {
 	node, err := anonconsensus.NewNode(anonconsensus.NewLiveTransport(),
 		anonconsensus.WithEnv(anonconsensus.EnvES),
-		anonconsensus.WithGST(5), // network stabilizes after round 5
+		anonconsensus.WithGST(5),  // network stabilizes after round 5
 		anonconsensus.WithSeed(7), // pre-stabilization chaos
 		anonconsensus.WithInterval(5*time.Millisecond),
 		anonconsensus.WithTimeout(30*time.Second),

@@ -112,6 +112,12 @@ type network struct {
 	ctx  context.Context
 	wg   sync.WaitGroup // delivery goroutines
 	done chan int       // process indexes that finished (decided/crashed/cancelled)
+
+	// links[from*N+to] is the lazily started delivery queue of one
+	// directed link; one goroutine per link drains it in deadline order,
+	// bounding the run at O(n²) delivery goroutines total (previously one
+	// goroutine per envelope per link: O(rounds·n²)).
+	links []*linkQueue
 }
 
 // Run executes the live network until every process decided, crashed, the
@@ -130,10 +136,11 @@ func Run(parent context.Context, cfg Config) (*Result, error) {
 	defer cancel()
 
 	nw := &network{
-		cfg:  cfg,
-		in:   make([]chan giraf.Envelope, cfg.N),
-		ctx:  ctx,
-		done: make(chan int, cfg.N),
+		cfg:   cfg,
+		in:    make([]chan giraf.Envelope, cfg.N),
+		ctx:   ctx,
+		done:  make(chan int, cfg.N),
+		links: make([]*linkQueue, cfg.N*cfg.N),
 	}
 	for i := range nw.in {
 		// Generous buffering: a halted process stops reading and late
@@ -217,27 +224,33 @@ func (nw *network) runProcess(id int) ProcResult {
 }
 
 // broadcast fans the envelope out to every peer with per-link delays.
+// Envelopes share one payload snapshot (giraf caches the round view), so
+// fan-out costs one queue entry per link, not a payload copy.
 func (nw *network) broadcast(from int, env giraf.Envelope) {
+	now := time.Now()
 	for to := 0; to < nw.cfg.N; to++ {
 		if to == from {
 			continue
 		}
-		to := to
 		delay := nw.cfg.Latency.Delay(env.Round, from, to)
+		nw.link(from, to).push(now.Add(delay), env)
+	}
+}
+
+// link returns (starting if needed) the delivery queue of the from→to
+// link. Only the sender's goroutine touches a given from-row, so lazy
+// initialization needs no lock.
+func (nw *network) link(from, to int) *linkQueue {
+	idx := from*nw.cfg.N + to
+	lq := nw.links[idx]
+	if lq == nil {
+		lq = newLinkQueue()
+		nw.links[idx] = lq
 		nw.wg.Add(1)
 		go func() {
 			defer nw.wg.Done()
-			timer := time.NewTimer(delay)
-			defer timer.Stop()
-			select {
-			case <-nw.ctx.Done():
-				return
-			case <-timer.C:
-			}
-			select {
-			case nw.in[to] <- env:
-			case <-nw.ctx.Done():
-			}
+			lq.run(nw.ctx, nw.in[to])
 		}()
 	}
+	return lq
 }

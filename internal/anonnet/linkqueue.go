@@ -1,0 +1,158 @@
+package anonnet
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"anonconsensus/internal/giraf"
+)
+
+// linkQueue is the delivery queue of one directed link: envelopes wait in
+// a deadline-ordered min-heap and a single goroutine (run) delivers each
+// when its deadline passes. Latency profiles vary per round, so a later
+// envelope may legitimately overtake an earlier one — exactly the
+// reordering the old goroutine-per-envelope scheme produced, minus the
+// goroutine explosion.
+type linkQueue struct {
+	mu   sync.Mutex
+	heap []queuedEnvelope
+	seq  uint64
+	// wake nudges the runner when a new head-of-queue deadline appears.
+	wake chan struct{}
+}
+
+// queuedEnvelope is one scheduled delivery; seq breaks deadline ties in
+// FIFO order so equal-latency envelopes keep their send order.
+type queuedEnvelope struct {
+	at  time.Time
+	seq uint64
+	env giraf.Envelope
+}
+
+func newLinkQueue() *linkQueue {
+	return &linkQueue{wake: make(chan struct{}, 1)}
+}
+
+// push schedules env for delivery at deadline at.
+func (lq *linkQueue) push(at time.Time, env giraf.Envelope) {
+	lq.mu.Lock()
+	lq.seq++
+	lq.heap = append(lq.heap, queuedEnvelope{at: at, seq: lq.seq, env: env})
+	lq.siftUp(len(lq.heap) - 1)
+	lq.mu.Unlock()
+	select {
+	case lq.wake <- struct{}{}:
+	default:
+	}
+}
+
+// head returns the earliest deadline, or ok=false for an empty queue.
+func (lq *linkQueue) head() (time.Time, bool) {
+	lq.mu.Lock()
+	defer lq.mu.Unlock()
+	if len(lq.heap) == 0 {
+		return time.Time{}, false
+	}
+	return lq.heap[0].at, true
+}
+
+// pop removes and returns the earliest entry; ok=false when empty.
+func (lq *linkQueue) pop() (queuedEnvelope, bool) {
+	lq.mu.Lock()
+	defer lq.mu.Unlock()
+	if len(lq.heap) == 0 {
+		return queuedEnvelope{}, false
+	}
+	top := lq.heap[0]
+	last := len(lq.heap) - 1
+	lq.heap[0] = lq.heap[last]
+	lq.heap[last] = queuedEnvelope{} // release the payload reference
+	lq.heap = lq.heap[:last]
+	lq.siftDown(0)
+	return top, true
+}
+
+func (lq *linkQueue) less(i, j int) bool {
+	if !lq.heap[i].at.Equal(lq.heap[j].at) {
+		return lq.heap[i].at.Before(lq.heap[j].at)
+	}
+	return lq.heap[i].seq < lq.heap[j].seq
+}
+
+func (lq *linkQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lq.less(i, parent) {
+			return
+		}
+		lq.heap[i], lq.heap[parent] = lq.heap[parent], lq.heap[i]
+		i = parent
+	}
+}
+
+func (lq *linkQueue) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(lq.heap) && lq.less(l, small) {
+			small = l
+		}
+		if r < len(lq.heap) && lq.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		lq.heap[i], lq.heap[small] = lq.heap[small], lq.heap[i]
+		i = small
+	}
+}
+
+// run is the link's delivery loop: sleep until the head deadline (or a
+// push installs an earlier one), then hand the envelope to the receiver's
+// inbox channel. A receiver that stopped reading only stalls this one
+// link; the sender never blocks on push.
+func (lq *linkQueue) run(ctx context.Context, out chan<- giraf.Envelope) {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		at, ok := lq.head()
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return
+			case <-lq.wake:
+				continue
+			}
+		}
+		if wait := time.Until(at); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+				return
+			case <-lq.wake:
+				// A new envelope may have an earlier deadline; re-evaluate.
+				if !timer.Stop() {
+					<-timer.C
+				}
+				continue
+			case <-timer.C:
+			}
+		}
+		qe, ok := lq.pop()
+		if !ok {
+			continue
+		}
+		select {
+		case out <- qe.env:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package anonnet
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/giraf"
+)
+
+// TestLinkQueueDeadlineOrder: deliveries come out in deadline order, with
+// a later-pushed but earlier-due envelope overtaking (per-round latency
+// profiles legitimately reorder links), and FIFO among equal deadlines.
+func TestLinkQueueDeadlineOrder(t *testing.T) {
+	lq := newLinkQueue()
+	out := make(chan giraf.Envelope, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go lq.run(ctx, out)
+
+	now := time.Now()
+	lq.push(now.Add(60*time.Millisecond), giraf.Envelope{Round: 3})
+	lq.push(now.Add(20*time.Millisecond), giraf.Envelope{Round: 1})
+	lq.push(now.Add(40*time.Millisecond), giraf.Envelope{Round: 2})
+
+	for want := 1; want <= 3; want++ {
+		select {
+		case env := <-out:
+			if env.Round != want {
+				t.Fatalf("delivery %d: got round %d", want, env.Round)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("delivery %d never arrived", want)
+		}
+	}
+}
+
+// TestLinkQueueEarlierDeadlinePreempts: a push with an earlier deadline
+// while the runner is asleep on a later one must win.
+func TestLinkQueueEarlierDeadlinePreempts(t *testing.T) {
+	lq := newLinkQueue()
+	out := make(chan giraf.Envelope, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go lq.run(ctx, out)
+
+	lq.push(time.Now().Add(300*time.Millisecond), giraf.Envelope{Round: 2})
+	time.Sleep(10 * time.Millisecond) // let the runner arm its timer
+	lq.push(time.Now().Add(10*time.Millisecond), giraf.Envelope{Round: 1})
+
+	select {
+	case env := <-out:
+		if env.Round != 1 {
+			t.Fatalf("first delivery was round %d, want the preempting 1", env.Round)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("preempting delivery never arrived")
+	}
+}
+
+// TestBroadcastGoroutinesBounded pins the satellite fix: delivery
+// goroutines are one per active link (O(n²) per run), not one per
+// envelope per link (O(rounds·n²)). With 6 processes ticking every 2ms
+// under a high-latency profile, the old scheme held hundreds of timer
+// goroutines in flight; the new bound is n·(n−1) link runners + n
+// processes + harness overhead.
+func TestBroadcastGoroutinesBounded(t *testing.T) {
+	const n = 6
+	base := runtime.NumGoroutine()
+	props := core.DistinctProposals(n)
+
+	var peak atomic.Int64
+	res, err := Run(context.Background(), Config{
+		N:         n,
+		Automaton: func(i int) giraf.Automaton { return core.NewESS(props[i]) },
+		Interval:  2 * time.Millisecond,
+		Latency:   fixedLatency{d: 250 * time.Millisecond}, // >100 rounds in flight per link
+		Timeout:   1500 * time.Millisecond,
+		OnRound: func(proc, round int, aut giraf.Automaton) {
+			g := int64(runtime.NumGoroutine())
+			for {
+				cur := peak.Load()
+				if g <= cur || peak.CompareAndSwap(cur, g) {
+					break
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Budget: base + n processes + n(n-1) links + generous harness slack.
+	budget := int64(base + n + n*(n-1) + 25)
+	if p := peak.Load(); p > budget {
+		t.Errorf("peak goroutines %d exceeds O(n²) budget %d (base %d)", p, budget, base)
+	} else if p == 0 {
+		t.Error("no samples taken")
+	}
+}
+
+// fixedLatency delays every link by a constant, far beyond the round
+// interval, to maximize envelopes in flight.
+type fixedLatency struct{ d time.Duration }
+
+func (f fixedLatency) Delay(round, from, to int) time.Duration { return f.d }

@@ -8,15 +8,22 @@ import (
 )
 
 // SetPayload is the wire payload of Algorithm 2 (and Algorithm 4): the
-// broadcast PROPOSED set.
+// broadcast PROPOSED set. Its canonical key and fingerprint are cached
+// inside the set itself, so framework-side identity checks are O(1).
 type SetPayload struct {
 	Proposed values.Set
 }
 
-var _ giraf.Payload = SetPayload{}
+var (
+	_ giraf.Payload       = SetPayload{}
+	_ giraf.Fingerprinted = SetPayload{}
+)
 
 // PayloadKey implements giraf.Payload.
 func (p SetPayload) PayloadKey() string { return p.Proposed.Key() }
+
+// PayloadFingerprint implements giraf.Fingerprinted.
+func (p SetPayload) PayloadFingerprint() values.Fingerprint { return p.Proposed.Fingerprint() }
 
 // String implements fmt.Stringer.
 func (p SetPayload) String() string { return p.Proposed.String() }
@@ -73,9 +80,14 @@ func (a *ES) Initialize() giraf.Payload {
 // Compute implements giraf.Automaton (Algorithm 2 lines 5–15).
 func (a *ES) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
 	msgs := inbox.Round(k)
-	sets := make([]values.Set, len(msgs))
-	for i, m := range msgs {
-		sets[i] = m.(SetPayload).Proposed
+	sets := make([]values.Set, 0, len(msgs))
+	for _, m := range msgs {
+		// Payloads of a foreign algorithm family (possible when a shared
+		// hub replays another run's frames) are ignored, not fatal:
+		// crash-fault model, a peer speaking another protocol is garbage.
+		if p, ok := m.(SetPayload); ok {
+			sets = append(sets, p.Proposed)
+		}
 	}
 	// Line 6: WRITTEN := ∩_{m ∈ M_i[k]} m.
 	a.written = values.IntersectAll(sets)

@@ -3,32 +3,76 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"anonconsensus/internal/giraf"
 	"anonconsensus/internal/values"
 )
 
 // ESSPayload is the wire payload of Algorithm 3: ⟨PROPOSED, HISTORY, C⟩.
+//
+// Build instances with MakeESSPayload where possible: it attaches a cache
+// cell so the canonical key and fingerprint are computed once per payload
+// instead of once per identity check. A zero/literal ESSPayload still
+// works — it just recomputes on every call.
 type ESSPayload struct {
 	Proposed values.Set
 	History  values.History
 	Counters values.Counters
+
+	canon *essCanon
 }
 
-var _ giraf.Payload = ESSPayload{}
+// essCanon caches the canonical form of one (immutable) payload. The
+// atomic pointer makes concurrent lazy fills race-free; all fills compute
+// the same value.
+type essCanon struct {
+	form atomic.Pointer[essForm]
+}
 
-// PayloadKey implements giraf.Payload: the canonical encoding of all three
-// components. Two anonymous processes in identical states broadcast
-// identical payloads and collapse to one inbox element.
-func (p ESSPayload) PayloadKey() string {
+type essForm struct {
+	key string
+	fp  values.Fingerprint
+}
+
+var (
+	_ giraf.Payload       = ESSPayload{}
+	_ giraf.Fingerprinted = ESSPayload{}
+)
+
+// MakeESSPayload builds a payload with a canonical-form cache attached.
+func MakeESSPayload(proposed values.Set, history values.History, counters values.Counters) ESSPayload {
+	return ESSPayload{Proposed: proposed, History: history, Counters: counters, canon: &essCanon{}}
+}
+
+// form returns the cached canonical form, computing it on a miss.
+func (p ESSPayload) form() *essForm {
+	if p.canon != nil {
+		if f := p.canon.form.Load(); f != nil {
+			return f
+		}
+	}
 	var b strings.Builder
 	b.WriteString(p.Proposed.Key())
 	b.WriteByte('|')
 	b.WriteString(p.History.Key())
 	b.WriteByte('|')
 	b.WriteString(p.Counters.Key())
-	return b.String()
+	f := &essForm{key: b.String()}
+	f.fp = values.FingerprintString(f.key)
+	if p.canon != nil {
+		p.canon.form.Store(f)
+	}
+	return f
 }
+
+// PayloadKey implements giraf.Payload: the canonical encoding of all three
+// components. Two anonymous processes in identical states broadcast
+// identical payloads and collapse to one inbox element.
+func (p ESSPayload) PayloadKey() string { return p.form().key }
+
+// PayloadFingerprint implements giraf.Fingerprinted.
+func (p ESSPayload) PayloadFingerprint() values.Fingerprint { return p.form().fp }
 
 // String implements fmt.Stringer.
 func (p ESSPayload) String() string {
@@ -105,22 +149,23 @@ func (a *ESS) stepLeaderProposal() {
 // Initialize implements giraf.Automaton (Algorithm 3 lines 1–4). As in
 // Algorithm 2 the initial payload carries {VAL} (DESIGN.md §3 note 1).
 func (a *ESS) Initialize() giraf.Payload {
-	return ESSPayload{
-		Proposed: values.NewSet(a.val),
-		History:  a.history,
-		Counters: a.counters.Clone(),
-	}
+	return MakeESSPayload(values.NewSet(a.val), a.history, a.counters.Clone())
 }
 
 // Compute implements giraf.Automaton (Algorithm 3 lines 5–22).
 func (a *ESS) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
 	msgs := inbox.Round(k)
-	sets := make([]values.Set, len(msgs))
-	ctrs := make([]values.Counters, len(msgs))
-	for i, m := range msgs {
-		p := m.(ESSPayload)
-		sets[i] = p.Proposed
-		ctrs[i] = p.Counters
+	pays := make([]ESSPayload, 0, len(msgs))
+	sets := make([]values.Set, 0, len(msgs))
+	ctrs := make([]values.Counters, 0, len(msgs))
+	for _, m := range msgs {
+		// Foreign-family payloads (a shared hub replaying another run) are
+		// ignored, not fatal: crash-fault model.
+		if p, ok := m.(ESSPayload); ok {
+			pays = append(pays, p)
+			sets = append(sets, p.Proposed)
+			ctrs = append(ctrs, p.Counters)
+		}
 	}
 	// Line 6: WRITTEN := ∩ m.PROPOSED.
 	a.written = values.IntersectAll(sets)
@@ -130,8 +175,8 @@ func (a *ESS) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) 
 	a.counters = values.MinMerge(ctrs)
 	// Line 9: ∀m, C[m.HISTORY] := 1 + max{C[H] | H prefix of m.HISTORY}.
 	// Inbox order is canonical, so this is deterministic.
-	for _, m := range msgs {
-		a.counters.Bump(m.(ESSPayload).History)
+	for _, p := range pays {
+		a.counters.Bump(p.History)
 	}
 
 	if k%2 == 0 {
@@ -169,11 +214,7 @@ func (a *ESS) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) 
 	// Line 21: append VAL to HISTORY (every round).
 	a.history = a.history.Append(a.val)
 	// Line 22.
-	return ESSPayload{
-		Proposed: a.proposed.Clone(),
-		History:  a.history,
-		Counters: a.counters.Clone(),
-	}, giraf.Decision{}
+	return MakeESSPayload(a.proposed.Clone(), a.history, a.counters.Clone()), giraf.Decision{}
 }
 
 // Val returns the current estimate.

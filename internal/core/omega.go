@@ -56,9 +56,11 @@ func (a *OmegaConsensus) Initialize() giraf.Payload {
 // line-15 leader check answered by the oracle.
 func (a *OmegaConsensus) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
 	msgs := inbox.Round(k)
-	sets := make([]values.Set, len(msgs))
-	for i, m := range msgs {
-		sets[i] = m.(SetPayload).Proposed
+	sets := make([]values.Set, 0, len(msgs))
+	for _, m := range msgs {
+		if p, ok := m.(SetPayload); ok { // foreign payloads ignored, as in ES
+			sets = append(sets, p.Proposed)
+		}
 	}
 	a.written = values.IntersectAll(sets)
 	a.proposed = values.UnionAll(sets).Union(a.proposed)

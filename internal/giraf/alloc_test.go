@@ -1,0 +1,36 @@
+package giraf
+
+import (
+	"testing"
+
+	"anonconsensus/internal/values"
+)
+
+// TestInboxRoundAllocsWarm pins the refactor's core property: reading a
+// round view re-sorts nothing and, once the snapshot is built, allocates
+// nothing.
+func TestInboxRoundAllocsWarm(t *testing.T) {
+	p := NewProc(&staticAut{pay: sp(values.Num(0))})
+	for i := 1; i <= 8; i++ {
+		p.Receive(Envelope{Round: 1, Payloads: []Payload{sp(values.Num(int64(i)))}})
+	}
+	_ = p.Round(1) // build the snapshot
+	if n := testing.AllocsPerRun(100, func() { _ = p.Round(1) }); n != 0 {
+		t.Errorf("Inbox.Round on settled round: %v allocs/op, want 0", n)
+	}
+}
+
+// TestMergeDedupAllocsWarm: merging an already-known payload set must not
+// allocate (fingerprint lookups only).
+func TestMergeDedupAllocsWarm(t *testing.T) {
+	p := NewProc(&staticAut{pay: sp(values.Num(0))})
+	env := Envelope{
+		Round:          1,
+		Payloads:       []Payload{sp(values.Num(1)), sp(values.Num(2))},
+		SetFingerprint: values.FingerprintString("warm-env"),
+	}
+	p.Receive(env)
+	if n := testing.AllocsPerRun(100, func() { p.Receive(env) }); n != 0 {
+		t.Errorf("duplicate envelope merge: %v allocs/op, want 0", n)
+	}
+}

@@ -14,6 +14,15 @@
 // indexed by sender. Two processes that broadcast structurally identical
 // payloads contribute a single element — processes are indistinguishable by
 // construction.
+//
+// Identity is canonical-form based (see PERFORMANCE.md): every payload has
+// a canonical key and a 128-bit fingerprint of that key, fingerprint
+// equality is structural equality, and payloads are immutable once returned
+// by an automaton. Inboxes deduplicate on fingerprints and keep an
+// incrementally sorted round view, so neither membership tests nor
+// Round(k) ever re-sort or re-encode. Envelopes additionally carry a
+// fingerprint of their whole payload set — the set-level identity the
+// delta wire format is built on (see DeltaTracker and package wire).
 package giraf
 
 import (
@@ -32,6 +41,24 @@ type Payload interface {
 	PayloadKey() string
 }
 
+// Fingerprinted is an optional Payload extension for types that can
+// produce their canonical fingerprint without the framework hashing the
+// key string — typically because they cache it (values.Set does). The
+// contract: PayloadFingerprint() == values.FingerprintString(PayloadKey()).
+type Fingerprinted interface {
+	PayloadFingerprint() values.Fingerprint
+}
+
+// payloadCanon returns the canonical key and fingerprint of p, using the
+// payload's cache when it has one.
+func payloadCanon(p Payload) (string, values.Fingerprint) {
+	if f, ok := p.(Fingerprinted); ok {
+		return p.PayloadKey(), f.PayloadFingerprint()
+	}
+	k := p.PayloadKey()
+	return k, values.FingerprintString(k)
+}
+
 // Decision is the outcome of a Compute step.
 type Decision struct {
 	// Decided is true when the automaton executed "decide v; halt".
@@ -44,7 +71,9 @@ type Decision struct {
 // receives (the M_i array of Algorithm 1).
 type Inbox interface {
 	// Round returns the deduplicated payload set received for round k, in
-	// canonical (key) order so automata iterate deterministically.
+	// canonical (key) order so automata iterate deterministically. The
+	// returned slice is shared and must not be mutated or retained across
+	// framework calls.
 	Round(k int) []Payload
 	// Fresh returns payloads delivered since the previous end-of-round, for
 	// any round, in arrival order (duplicates across calls never repeat).
@@ -69,11 +98,106 @@ type Automaton interface {
 	Compute(k int, inbox Inbox) (Payload, Decision)
 }
 
-// Envelope is a broadcast message ⟨M, k⟩: the sender's complete round-k
-// payload set at send time.
+// Envelope is a broadcast message ⟨M, k⟩: the sender's round-k payload set
+// at send time.
+//
+// An envelope can be in one of two forms:
+//
+//   - full: Payloads carries the entire set, Refs is nil. This is what
+//     EndOfRound produces and what Proc.Receive consumes.
+//   - delta: Payloads carries only payloads the sender has not broadcast
+//     before, and Refs carries the fingerprints of the remaining payloads
+//     of the set, each of which the sender broadcast in full in an earlier
+//     envelope. Delta envelopes are a transport concern (see DeltaTracker
+//     and ResolveTable, used by package wire): they must be resolved back
+//     to full form before reaching Proc.Receive.
+//
+// SetFingerprint, when non-zero, fingerprints the entire payload set (in
+// canonical order), identical across the full and delta forms of the same
+// envelope: the set-level identity used on the wire.
 type Envelope struct {
 	Round    int
 	Payloads []Payload
+	// Refs holds fingerprints of payloads omitted from Payloads because the
+	// sender already broadcast them (delta form); nil for full envelopes.
+	Refs []values.Fingerprint
+	// SetFingerprint is the fingerprint of the complete payload set, or the
+	// zero Fingerprint when not computed.
+	SetFingerprint values.Fingerprint
+}
+
+// roundInbox is the per-round storage: fingerprint-keyed membership plus an
+// incrementally maintained canonical-key-sorted view.
+type roundInbox struct {
+	byFP map[values.Fingerprint]struct{}
+	keys []string             // ascending canonical keys, parallel to pays
+	pays []Payload            // payloads in key order
+	fps  []values.Fingerprint // payload fingerprints, parallel to pays
+	// view is the cached Round(k) snapshot; nil after an insertion.
+	view []Payload
+	// envFP is the cached fingerprint of the full payload set in key order;
+	// zero after an insertion.
+	envFP values.Fingerprint
+}
+
+// roundInboxHint pre-sizes the per-round storage: typical rounds hold at
+// most one payload per anonymous equivalence class, so a small starting
+// capacity absorbs the append-growth churn without bloating big-n runs.
+const roundInboxHint = 8
+
+func newRoundInbox() *roundInbox {
+	return &roundInbox{
+		byFP: make(map[values.Fingerprint]struct{}, roundInboxHint),
+		keys: make([]string, 0, roundInboxHint),
+		pays: make([]Payload, 0, roundInboxHint),
+		fps:  make([]values.Fingerprint, 0, roundInboxHint),
+	}
+}
+
+// insert adds a payload with the given canonical key and fingerprint,
+// keeping the key order; it reports whether the payload was new.
+func (ri *roundInbox) insert(key string, fp values.Fingerprint, pay Payload) bool {
+	if _, ok := ri.byFP[fp]; ok {
+		return false
+	}
+	ri.byFP[fp] = struct{}{}
+	i := sort.SearchStrings(ri.keys, key)
+	ri.keys = append(ri.keys, "")
+	copy(ri.keys[i+1:], ri.keys[i:])
+	ri.keys[i] = key
+	ri.pays = append(ri.pays, nil)
+	copy(ri.pays[i+1:], ri.pays[i:])
+	ri.pays[i] = pay
+	ri.fps = append(ri.fps, values.Fingerprint{})
+	copy(ri.fps[i+1:], ri.fps[i:])
+	ri.fps[i] = fp
+	ri.view = nil
+	ri.envFP = values.Fingerprint{}
+	return true
+}
+
+// snapshot returns (building and caching if needed) the payloads in key
+// order as a slice that stays valid across later insertions.
+func (ri *roundInbox) snapshot() []Payload {
+	if ri.view == nil {
+		ri.view = make([]Payload, len(ri.pays))
+		copy(ri.view, ri.pays)
+	}
+	return ri.view
+}
+
+// setFingerprint returns (computing and caching if needed) the fingerprint
+// of the full payload set in key order.
+func (ri *roundInbox) setFingerprint() values.Fingerprint {
+	if ri.envFP.IsZero() {
+		var h values.Hasher
+		h.WriteString("E")
+		for _, fp := range ri.fps {
+			h.WriteFingerprint(fp)
+		}
+		ri.envFP = h.Sum()
+	}
+	return ri.envFP
 }
 
 // Proc is the framework state of one process: its round number, inbox
@@ -81,7 +205,7 @@ type Envelope struct {
 type Proc struct {
 	aut      Automaton
 	round    int // k_i: number of end-of-round invocations so far
-	inbox    map[int]map[string]Payload
+	inbox    map[int]*roundInbox
 	fresh    []Payload
 	halted   bool
 	decision Decision
@@ -98,26 +222,18 @@ var _ Inbox = (*Proc)(nil)
 func NewProc(aut Automaton) *Proc {
 	return &Proc{
 		aut:   aut,
-		inbox: make(map[int]map[string]Payload),
+		inbox: make(map[int]*roundInbox),
 	}
 }
 
-// Round implements Inbox.
+// Round implements Inbox. The slice is a cached snapshot in canonical key
+// order; callers must not mutate it.
 func (p *Proc) Round(k int) []Payload {
-	set := p.inbox[k]
-	if len(set) == 0 {
+	ri := p.inbox[k]
+	if ri == nil || len(ri.pays) == 0 {
 		return nil
 	}
-	keys := make([]string, 0, len(set))
-	for key := range set {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	out := make([]Payload, len(keys))
-	for i, key := range keys {
-		out[i] = set[key]
-	}
-	return out
+	return ri.snapshot()
 }
 
 // Fresh implements Inbox: payloads added to any round's set since the last
@@ -139,7 +255,10 @@ func (p *Proc) Delivered() int { return p.delivered }
 
 // Receive merges a broadcast envelope into the inbox (Algorithm 1 lines
 // 13–14: M_i[k] := M_i[k] ∪ M). Envelopes arriving after the process halted
-// are ignored.
+// are ignored. The envelope must be in full form (Refs resolved by the
+// transport); unresolved Refs are ignored — harmless under reliable
+// broadcast, where every referenced payload also arrives in full in the
+// sender's earlier envelope.
 func (p *Proc) Receive(env Envelope) {
 	if p.halted {
 		return
@@ -148,19 +267,17 @@ func (p *Proc) Receive(env Envelope) {
 }
 
 func (p *Proc) merge(round int, payloads []Payload) {
-	set := p.inbox[round]
-	if set == nil {
-		set = make(map[string]Payload)
-		p.inbox[round] = set
+	ri := p.inbox[round]
+	if ri == nil {
+		ri = newRoundInbox()
+		p.inbox[round] = ri
 	}
 	for _, pay := range payloads {
-		key := pay.PayloadKey()
-		if _, ok := set[key]; ok {
-			continue
+		key, fp := payloadCanon(pay)
+		if ri.insert(key, fp, pay) {
+			p.fresh = append(p.fresh, pay)
+			p.delivered++
 		}
-		set[key] = pay
-		p.fresh = append(p.fresh, pay)
-		p.delivered++
 	}
 }
 
@@ -192,7 +309,12 @@ func (p *Proc) EndOfRound() (Envelope, bool) {
 	p.lastOwn = pay
 	p.merge(p.round+1, []Payload{pay})
 	p.round++
-	return Envelope{Round: p.round, Payloads: p.Round(p.round)}, true
+	ri := p.inbox[p.round]
+	return Envelope{
+		Round:          p.round,
+		Payloads:       ri.snapshot(),
+		SetFingerprint: ri.setFingerprint(),
+	}, true
 }
 
 // LastOwnPayload returns the payload the automaton produced at the most
@@ -203,17 +325,24 @@ func (p *Proc) LastOwnPayload() Payload { return p.lastOwn }
 
 // InboxSize returns the number of distinct payloads stored for round k,
 // for tests and metrics.
-func (p *Proc) InboxSize(k int) int { return len(p.inbox[k]) }
+func (p *Proc) InboxSize(k int) int {
+	ri := p.inbox[k]
+	if ri == nil {
+		return 0
+	}
+	return len(ri.pays)
+}
 
 // InboxRounds returns the number of rounds with stored payloads.
 func (p *Proc) InboxRounds() int { return len(p.inbox) }
 
 // CompactBefore drops all inbox rounds < k. Algorithms 2 and 3 only ever
-// read the current round, so drivers of long runs can compact to keep
-// memory flat. Late duplicate deliveries for a compacted round are then
-// indistinguishable from first deliveries (they reappear in Fresh), which
-// is harmless for union-style consumers like Algorithm 4 but means
-// compaction must not be combined with exactly-once delivery accounting.
+// read the current round, so drivers
+// of long runs can compact to keep memory flat. Late duplicate deliveries
+// for a compacted round are then indistinguishable from first deliveries
+// (they reappear in Fresh), which is harmless for union-style consumers
+// like Algorithm 4 but means compaction must not be combined with
+// exactly-once delivery accounting.
 func (p *Proc) CompactBefore(k int) {
 	for round := range p.inbox {
 		if round < k {

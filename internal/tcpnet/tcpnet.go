@@ -259,19 +259,22 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	proc := giraf.NewProc(cfg.Automaton)
 	inbox := make(chan giraf.Envelope, 1024)
 
-	// Reader goroutine: frames → envelopes → inbox. Corrupt frames from a
-	// byzantine-ish peer are dropped, not fatal: crash-fault model.
+	// Reader goroutine: delta frames → resolved envelopes → inbox. The
+	// reader's resolve table spans the whole connection, so fingerprint
+	// references to payloads from earlier frames (any sender — the hub
+	// serializes all streams into one) always resolve. Corrupt frames from
+	// a byzantine-ish peer are dropped, not fatal: crash-fault model.
 	readerDone := make(chan struct{})
 	go func() {
 		defer close(readerDone)
+		reader := wire.NewEnvelopeReader(conn)
 		for {
-			frame, err := wire.ReadFrame(conn)
+			env, err := reader.ReadEnvelope()
 			if err != nil {
+				if errors.Is(err, wire.ErrBadFrame) {
+					continue
+				}
 				return
-			}
-			env, err := wire.DecodeEnvelope(frame)
-			if err != nil {
-				continue
 			}
 			select {
 			case inbox <- env:
@@ -290,6 +293,10 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	// Writer with per-connection delta state: each payload crosses this
+	// node's uplink in full exactly once; rebroadcasts of it are 16-byte
+	// fingerprint references.
+	writer := wire.NewEnvelopeWriter(conn)
 	res := &NodeResult{}
 	for {
 		select {
@@ -325,11 +332,7 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			if !ok {
 				continue
 			}
-			frame, err := wire.EncodeEnvelope(env)
-			if err != nil {
-				return res, fmt.Errorf("tcpnet: encoding round %d: %w", env.Round, err)
-			}
-			if err := wire.WriteFrame(conn, frame); err != nil {
+			if err := writer.WriteEnvelope(env); err != nil {
 				res.Rounds = proc.CurrentRound()
 				return res, fmt.Errorf("tcpnet: broadcasting round %d: %w", env.Round, err)
 			}

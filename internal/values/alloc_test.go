@@ -1,0 +1,39 @@
+package values
+
+import "testing"
+
+// Allocation pins for the canonical-form hot paths: once a set has
+// settled, identity operations must be allocation-free. Future PRs that
+// regress the cache fail here, not in a benchmark nobody reruns.
+
+func TestSetKeyAllocsWarm(t *testing.T) {
+	s := NewSet(Num(1), Num(2), Num(3), Bot)
+	_ = s.Key() // settle
+	if n := testing.AllocsPerRun(100, func() { _ = s.Key() }); n != 0 {
+		t.Errorf("Set.Key on settled set: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = s.Fingerprint() }); n != 0 {
+		t.Errorf("Set.Fingerprint on settled set: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = s.EncodedSize() }); n != 0 {
+		t.Errorf("Set.EncodedSize on settled set: %v allocs/op, want 0", n)
+	}
+	t2 := s.Clone()
+	if n := testing.AllocsPerRun(100, func() { _ = s.Equal(t2) }); n != 0 {
+		t.Errorf("Set.Equal on settled sets: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _, _ = s.Max() }); n != 0 {
+		t.Errorf("Set.Max on settled set: %v allocs/op, want 0", n)
+	}
+}
+
+func TestEncodedSizeNeedsNoKey(t *testing.T) {
+	// EncodedSize on a fresh (never keyed) set must not materialize the key
+	// string: exactly one canonical-form allocation set, no string build.
+	mk := func() Set { return NewSet(Num(1), Num(22), Num(333)) }
+	withKey := testing.AllocsPerRun(100, func() { _ = mk().Key() })
+	withoutKey := testing.AllocsPerRun(100, func() { _ = mk().EncodedSize() })
+	if withoutKey >= withKey {
+		t.Errorf("EncodedSize allocates as much as Key (%v >= %v): key string is being built", withoutKey, withKey)
+	}
+}

@@ -1,0 +1,70 @@
+package values
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSetCodec fuzzes the register codec round-trip plus canonical-key
+// stability: decode(encode(s)) must equal s with an identical key and
+// fingerprint, and DecodeSet must never panic on arbitrary input.
+func FuzzSetCodec(f *testing.F) {
+	f.Add("a,b,c")
+	f.Add("")
+	f.Add("x")
+	f.Add("aa,aa,aa")
+	f.Add("⊥,Σ,ε")
+	f.Fuzz(func(t *testing.T, raw string) {
+		s := NewSet()
+		for _, part := range strings.Split(raw, ",") {
+			if part != "" {
+				s.Add(Value(part))
+			}
+		}
+		enc := EncodeSet(s)
+		dec, err := DecodeSet(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !dec.Equal(s) {
+			t.Fatalf("round-trip changed the set: %v -> %v", s, dec)
+		}
+		if dec.Key() != s.Key() {
+			t.Fatalf("round-trip changed the canonical key: %q -> %q", s.Key(), dec.Key())
+		}
+		if dec.Fingerprint() != s.Fingerprint() {
+			t.Fatalf("round-trip changed the fingerprint")
+		}
+		// Arbitrary input must be rejected or decoded, never panic; on
+		// success the canonical re-encoding must be a fixpoint.
+		if g, err := DecodeSet(Value(raw)); err == nil {
+			re, err := DecodeSet(EncodeSet(g))
+			if err != nil || !re.Equal(g) {
+				t.Fatalf("re-encoding of decoded garbage is not a fixpoint: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzPairCodec fuzzes the (rank, value) pair codec the register
+// constructions use.
+func FuzzPairCodec(f *testing.F) {
+	f.Add(0, "v")
+	f.Add(41, "")
+	f.Add(1<<30, "x:y!z")
+	f.Fuzz(func(t *testing.T, rank int, val string) {
+		if rank < 0 {
+			rank = -rank
+		}
+		p := EncodePair(rank, Value(val))
+		r, v, err := DecodePair(p)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if r != rank || v != Value(val) {
+			t.Fatalf("round-trip changed pair: (%d,%q) -> (%d,%q)", rank, val, r, v)
+		}
+		// Arbitrary input: no panic.
+		_, _, _ = DecodePair(Value(val))
+	})
+}

@@ -1,0 +1,64 @@
+package values
+
+import "sync"
+
+// internShards keeps lock contention low when many decoder goroutines
+// intern concurrently (tcpnet runs one decoder per connection).
+const internShards = 16
+
+// internLimit bounds the total number of interned values and
+// internMaxLen the size of any single one, bounding the table to a few
+// MiB even when hostile traffic floods it with distinct values. Beyond
+// either limit, Intern degrades to the identity function: correctness
+// never depends on interning, it only deduplicates backing storage.
+const (
+	internLimit  = 1 << 16
+	internMaxLen = 256
+)
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]Value
+}
+
+var internTable [internShards]internShard
+
+func internShardFor(v Value) *internShard {
+	var h Hasher
+	h.WriteString(string(v))
+	return &internTable[h.Sum().Lo%internShards]
+}
+
+// Intern returns a Value structurally equal to v that shares backing
+// storage with every other interned copy of the same value. Decode paths
+// (wire frames, register codecs) intern so that the same proposal value
+// arriving in thousands of envelopes is stored once, and map lookups on
+// Value keys compare pointers-then-bytes on a shared allocation.
+//
+// Interning is always semantically a no-op: v itself is returned when the
+// value is new and the table is full.
+func Intern(v Value) Value {
+	if len(v) == 0 || len(v) > internMaxLen {
+		return v
+	}
+	s := internShardFor(v)
+	s.mu.RLock()
+	got, ok := s.m[string(v)]
+	s.mu.RUnlock()
+	if ok {
+		return got
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if got, ok := s.m[string(v)]; ok {
+		return got
+	}
+	if s.m == nil {
+		s.m = make(map[string]Value)
+	}
+	if len(s.m) >= internLimit/internShards {
+		return v
+	}
+	s.m[string(v)] = v
+	return v
+}

@@ -3,6 +3,7 @@ package values
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Set is a finite set of Values. The zero value is an empty set ready to
@@ -10,13 +11,42 @@ import (
 //
 // Sets are the building block of every payload in the paper: PROPOSED,
 // WRITTEN and WRITTENOLD (Algorithms 2–4) are all value sets.
+//
+// A Set carries a lazily computed canonical form — the ascending element
+// slice, a 128-bit fingerprint, the canonical key string and its encoded
+// size — which is invalidated on mutation and shared by clones, so Key,
+// Fingerprint, Equal, Max, Sorted and EncodedSize are O(1) once a set has
+// stopped changing (the steady state of every payload: payloads are
+// immutable after an automaton returns them). Aliased copies (plain
+// assignment) share both the element map and the cache, exactly mirroring
+// the aliasing of the underlying map.
 type Set struct {
 	m map[Value]struct{}
+	c *setCtl
+}
+
+// setCtl is the cache cell shared by all aliases of one set (allocated 1:1
+// with the element map). The canonical form is published via an atomic
+// pointer so concurrent readers of an immutable set can fill the cache
+// without a data race; mutation stores nil.
+type setCtl struct {
+	canon atomic.Pointer[canonSet]
+}
+
+// canonSet is an immutable canonical-form snapshot. key is materialized on
+// demand (a keyed snapshot replaces the unkeyed one); fingerprint and
+// encoded size are always present so identity checks and message-size
+// accounting never build strings.
+type canonSet struct {
+	sorted  []Value
+	fp      Fingerprint
+	encSize int
+	key     string // "" until materialized (real keys always start with "S")
 }
 
 // NewSet returns a set containing the given values.
 func NewSet(vs ...Value) Set {
-	s := Set{m: make(map[Value]struct{}, len(vs))}
+	s := Set{m: make(map[Value]struct{}, len(vs)), c: &setCtl{}}
 	for _, v := range vs {
 		s.m[v] = struct{}{}
 	}
@@ -35,12 +65,77 @@ func (s Set) Contains(v Value) bool {
 	return ok
 }
 
+// loadCanon returns the cached canonical form, or nil when the set is
+// dirty or has never been summarized.
+func (s Set) loadCanon() *canonSet {
+	if s.c == nil {
+		return nil
+	}
+	return s.c.canon.Load()
+}
+
+// invalidate drops the cached canonical form after a mutation.
+func (s Set) invalidate() {
+	if s.c != nil {
+		s.c.canon.Store(nil)
+	}
+}
+
+// ensureCanon returns the canonical form, computing sorted order,
+// fingerprint and encoded size (but not the key string) on a miss.
+func (s Set) ensureCanon() *canonSet {
+	if cs := s.loadCanon(); cs != nil {
+		return cs
+	}
+	sorted := make([]Value, 0, len(s.m))
+	for v := range s.m {
+		sorted = append(sorted, v)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	var h Hasher
+	h.WriteString("S")
+	size := 1
+	for _, v := range sorted {
+		h.writeLengthPrefixed(string(v))
+		size += decDigits(len(v)) + 1 + len(v)
+	}
+	cs := &canonSet{sorted: sorted, fp: h.Sum(), encSize: size}
+	if s.c != nil {
+		s.c.canon.Store(cs)
+	}
+	return cs
+}
+
+// ensureKey returns the canonical form with the key string materialized.
+func (s Set) ensureKey() *canonSet {
+	cs := s.ensureCanon()
+	if cs.key != "" {
+		return cs
+	}
+	var b strings.Builder
+	b.Grow(cs.encSize)
+	b.WriteString("S")
+	for _, v := range cs.sorted {
+		encodeString(&b, string(v))
+	}
+	keyed := &canonSet{sorted: cs.sorted, fp: cs.fp, encSize: cs.encSize, key: b.String()}
+	if s.c != nil {
+		s.c.canon.Store(keyed)
+	}
+	return keyed
+}
+
 // Add inserts v, allocating the underlying map if needed.
 func (s *Set) Add(v Value) {
 	if s.m == nil {
 		s.m = make(map[Value]struct{})
+		s.c = &setCtl{}
+	}
+	if _, ok := s.m[v]; ok {
+		return
 	}
 	s.m[v] = struct{}{}
+	s.invalidate()
 }
 
 // AddAll inserts every value of t into s.
@@ -50,11 +145,25 @@ func (s *Set) AddAll(t Set) {
 	}
 }
 
-// Clone returns an independent copy of s.
+// remove deletes v (no-op when absent), invalidating the cache.
+func (s *Set) remove(v Value) {
+	if _, ok := s.m[v]; !ok {
+		return
+	}
+	delete(s.m, v)
+	s.invalidate()
+}
+
+// Clone returns an independent copy of s. The canonical-form cache is
+// carried over (it is an immutable snapshot), so cloning a settled set
+// keeps Key/Fingerprint O(1).
 func (s Set) Clone() Set {
-	c := Set{m: make(map[Value]struct{}, len(s.m))}
+	c := Set{m: make(map[Value]struct{}, len(s.m)), c: &setCtl{}}
 	for v := range s.m {
 		c.m[v] = struct{}{}
+	}
+	if cs := s.loadCanon(); cs != nil {
+		c.c.canon.Store(cs)
 	}
 	return c
 }
@@ -112,15 +221,19 @@ func UnionAll(sets []Set) Set {
 func (s Set) Without(vs ...Value) Set {
 	out := s.Clone()
 	for _, v := range vs {
-		delete(out.m, v)
+		out.remove(v)
 	}
 	return out
 }
 
-// Equal reports whether s and t contain exactly the same values.
+// Equal reports whether s and t contain exactly the same values. When both
+// sets have settled canonical forms this is a fingerprint comparison.
 func (s Set) Equal(t Set) bool {
 	if s.Len() != t.Len() {
 		return false
+	}
+	if sc, tc := s.loadCanon(), t.loadCanon(); sc != nil && tc != nil {
+		return sc.fp == tc.fp
 	}
 	for v := range s.m {
 		if !t.Contains(v) {
@@ -152,6 +265,12 @@ func (s Set) IsExactly(v Value) bool {
 // Max returns the maximum value of the set and true, or ("", false) for an
 // empty set.
 func (s Set) Max() (Value, bool) {
+	if len(s.m) == 0 {
+		return "", false
+	}
+	if cs := s.loadCanon(); cs != nil {
+		return cs.sorted[len(cs.sorted)-1], true
+	}
 	var (
 		best  Value
 		found bool
@@ -164,26 +283,24 @@ func (s Set) Max() (Value, bool) {
 	return best, found
 }
 
-// Sorted returns the values in ascending order.
+// Sorted returns the values in ascending order. The returned slice is the
+// caller's to keep; the sort itself is cached across calls.
 func (s Set) Sorted() []Value {
-	out := make([]Value, 0, len(s.m))
-	for v := range s.m {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	cs := s.ensureCanon()
+	out := make([]Value, len(cs.sorted))
+	copy(out, cs.sorted)
 	return out
 }
 
 // Key returns the canonical encoding of the set. Two sets have equal keys
-// iff they are equal.
-func (s Set) Key() string {
-	var b strings.Builder
-	b.WriteString("S")
-	for _, v := range s.Sorted() {
-		encodeString(&b, string(v))
-	}
-	return b.String()
-}
+// iff they are equal. The string is cached until the next mutation.
+func (s Set) Key() string { return s.ensureKey().key }
+
+// Fingerprint returns the 128-bit fingerprint of the canonical encoding:
+// Fingerprint() == FingerprintString(Key()), without materializing the
+// key. Fingerprint equality is structural equality (canonical-form
+// invariant).
+func (s Set) Fingerprint() Fingerprint { return s.ensureCanon().fp }
 
 // String implements fmt.Stringer: "{a, b, ⊥}".
 func (s Set) String() string {
@@ -195,5 +312,7 @@ func (s Set) String() string {
 }
 
 // EncodedSize returns the length in bytes of the canonical encoding; the
-// simulator uses it to account message sizes (experiment T6).
-func (s Set) EncodedSize() int { return len(s.Key()) }
+// simulator uses it to account message sizes (experiment T6). It is
+// computed arithmetically alongside the fingerprint — the key string is
+// never built just to be measured.
+func (s Set) EncodedSize() int { return s.ensureCanon().encSize }

@@ -5,12 +5,18 @@ import (
 	"anonconsensus/internal/values"
 )
 
-// setPayload is Algorithm 4's wire payload: the PROPOSED set.
+// setPayload is Algorithm 4's wire payload: the PROPOSED set. Key and
+// fingerprint are cached in the set's canonical form.
 type setPayload struct{ proposed values.Set }
 
-var _ giraf.Payload = setPayload{}
+var (
+	_ giraf.Payload       = setPayload{}
+	_ giraf.Fingerprinted = setPayload{}
+)
 
 func (p setPayload) PayloadKey() string { return p.proposed.Key() }
+
+func (p setPayload) PayloadFingerprint() values.Fingerprint { return p.proposed.Fingerprint() }
 
 // AddRecord is the completed lifetime of one add operation, in rounds.
 type AddRecord struct {
@@ -84,9 +90,11 @@ func (p *MSProc) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decisio
 	p.round = k
 	// Line 14: WRITTEN := ∩_{m ∈ M_i[k]} m.
 	msgs := inbox.Round(k)
-	sets := make([]values.Set, len(msgs))
-	for i, m := range msgs {
-		sets[i] = m.(setPayload).proposed
+	sets := make([]values.Set, 0, len(msgs))
+	for _, m := range msgs {
+		if sp, ok := m.(setPayload); ok { // foreign payloads ignored
+			sets = append(sets, sp.proposed)
+		}
 	}
 	p.written = values.IntersectAll(sets)
 	// Line 15: PROPOSED := (∪_{m ∈ M_i[k'], 1 ≤ k' ≤ k} m) ∪ PROPOSED.
@@ -95,7 +103,9 @@ func (p *MSProc) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decisio
 	// permanently-slow links still contribute (contrast Algorithms 2/3,
 	// which read only the current round).
 	for _, m := range inbox.Fresh() {
-		p.proposed.AddAll(m.(setPayload).proposed)
+		if sp, ok := m.(setPayload); ok {
+			p.proposed.AddAll(sp.proposed)
+		}
 	}
 	// Line 16: if VAL ∈ WRITTEN then BLOCK := false (the running add
 	// completes).

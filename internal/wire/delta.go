@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+// deltaMagic tags a delta-framed envelope body. The stateless v1 body
+// (EncodeEnvelope) starts with a uvarint round whose first byte is the
+// round's low bits; rounds are far below 2^28 in practice, so 0xD5 as a
+// leading byte cannot be confused with a well-formed v1 frame from our own
+// encoders — and both decoders reject the other's frames loudly rather
+// than misparse.
+const deltaMagic byte = 0xD5
+
+// ErrBadFrame wraps all content-level decode failures (corrupt body,
+// unknown tag, unresolvable delta reference), as opposed to transport I/O
+// errors. Readers skip bad frames — crash-fault model: a peer producing
+// garbage is treated as crashed, not as fatal to the local node.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+func writeFingerprint(w *bytes.Buffer, fp values.Fingerprint) {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], fp.Hi)
+	binary.BigEndian.PutUint64(buf[8:], fp.Lo)
+	w.Write(buf[:])
+}
+
+func readFingerprint(r *bytes.Reader) (values.Fingerprint, error) {
+	var buf [16]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return values.Fingerprint{}, fmt.Errorf("%w: truncated fingerprint: %v", ErrBadFrame, err)
+	}
+	return values.Fingerprint{
+		Hi: binary.BigEndian.Uint64(buf[:8]),
+		Lo: binary.BigEndian.Uint64(buf[8:]),
+	}, nil
+}
+
+// EncodeDeltaEnvelope serializes an envelope already in delta form
+// (giraf.DeltaTracker.Shrink output): new payloads travel tagged and in
+// full, previously-sent payloads travel as 16-byte fingerprint references,
+// and the whole-set fingerprint rides along so receivers can skip
+// re-merging identical sets.
+func EncodeDeltaEnvelope(env giraf.Envelope) ([]byte, error) {
+	var w bytes.Buffer
+	w.WriteByte(deltaMagic)
+	writeUvarint(&w, uint64(env.Round))
+	writeFingerprint(&w, env.SetFingerprint)
+	writeUvarint(&w, uint64(len(env.Refs)))
+	for _, fp := range env.Refs {
+		writeFingerprint(&w, fp)
+	}
+	writeUvarint(&w, uint64(len(env.Payloads)))
+	for _, p := range env.Payloads {
+		if err := encodePayload(&w, p); err != nil {
+			return nil, err
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeDeltaEnvelope parses a frame produced by EncodeDeltaEnvelope. The
+// result is still in delta form; resolve it with a giraf.ResolveTable.
+func DecodeDeltaEnvelope(data []byte) (giraf.Envelope, error) {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil || magic != deltaMagic {
+		return giraf.Envelope{}, fmt.Errorf("%w: not a delta envelope (leading byte %#x)", ErrBadFrame, magic)
+	}
+	round, err := readRound(r)
+	if err != nil {
+		return giraf.Envelope{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	env := giraf.Envelope{Round: int(round)}
+	if env.SetFingerprint, err = readFingerprint(r); err != nil {
+		return giraf.Envelope{}, err
+	}
+	nRefs, err := readUvarint(r)
+	if err != nil {
+		return giraf.Envelope{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	for i := uint64(0); i < nRefs; i++ {
+		fp, err := readFingerprint(r)
+		if err != nil {
+			return giraf.Envelope{}, err
+		}
+		env.Refs = append(env.Refs, fp)
+	}
+	nNew, err := readUvarint(r)
+	if err != nil {
+		return giraf.Envelope{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	for i := uint64(0); i < nNew; i++ {
+		p, err := decodePayload(r)
+		if err != nil {
+			return giraf.Envelope{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		env.Payloads = append(env.Payloads, p)
+	}
+	if r.Len() != 0 {
+		return giraf.Envelope{}, fmt.Errorf("%w: %d trailing bytes after delta envelope", ErrBadFrame, r.Len())
+	}
+	return env, nil
+}
+
+// EnvelopeWriter writes delta-compressed envelope frames to one reliable
+// FIFO stream. A payload goes out in full whenever it was not part of the
+// previous frame — the full-set fallback that keeps late joiners and the
+// reliable-link assumption intact, because a hub replays the whole frame
+// log to every new connection in order and references never reach past
+// the sender's previous frame. Not safe for concurrent use.
+type EnvelopeWriter struct {
+	w       io.Writer
+	tracker *giraf.DeltaTracker
+
+	// FramesOut / BytesOut / PayloadsElided expose cheap counters so
+	// transports can report how much the delta plane saves.
+	FramesOut      int
+	BytesOut       int
+	PayloadsElided int
+}
+
+// NewEnvelopeWriter returns a writer with empty delta state.
+func NewEnvelopeWriter(w io.Writer) *EnvelopeWriter {
+	return &EnvelopeWriter{w: w, tracker: giraf.NewDeltaTracker()}
+}
+
+// WriteEnvelope shrinks env against the stream history and writes one
+// frame.
+func (ew *EnvelopeWriter) WriteEnvelope(env giraf.Envelope) error {
+	delta := ew.tracker.Shrink(env)
+	data, err := EncodeDeltaEnvelope(delta)
+	if err != nil {
+		return err
+	}
+	ew.FramesOut++
+	ew.BytesOut += len(data)
+	ew.PayloadsElided += len(delta.Refs)
+	return WriteFrame(ew.w, data)
+}
+
+// EnvelopeReader reads delta-compressed envelope frames from one reliable
+// FIFO stream and resolves them to full envelopes. Not safe for
+// concurrent use.
+type EnvelopeReader struct {
+	r     io.Reader
+	table *giraf.ResolveTable
+}
+
+// NewEnvelopeReader returns a reader with empty resolve state.
+func NewEnvelopeReader(r io.Reader) *EnvelopeReader {
+	return &EnvelopeReader{r: r, table: giraf.NewResolveTable()}
+}
+
+// ReadEnvelope reads one frame and returns the resolved full envelope.
+// Content-level failures are reported wrapped in ErrBadFrame (the caller
+// should skip the frame and keep reading); transport errors (including
+// io.EOF) pass through unchanged.
+func (er *EnvelopeReader) ReadEnvelope() (giraf.Envelope, error) {
+	frame, err := ReadFrame(er.r)
+	if err != nil {
+		return giraf.Envelope{}, err
+	}
+	delta, err := DecodeDeltaEnvelope(frame)
+	if err != nil {
+		return giraf.Envelope{}, err
+	}
+	full, err := er.table.Resolve(delta)
+	if err != nil {
+		return giraf.Envelope{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return full, nil
+}

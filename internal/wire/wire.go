@@ -30,6 +30,24 @@ const (
 // frame from demanding gigabytes.
 const MaxElement = 1 << 20
 
+// MaxRound bounds round numbers on the wire. Rounds are not lengths, so
+// MaxElement would be wrong for them: a node ticking every few
+// milliseconds passes 2^20 rounds within hours, and rejecting its frames
+// would silently deafen every receiver. 2^40 rounds is ~70 years at 2ms.
+const MaxRound = 1 << 40
+
+// readRound decodes a round number (uvarint bounded by MaxRound).
+func readRound(r *bytes.Reader) (uint64, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("wire: truncated round: %w", err)
+	}
+	if n > MaxRound {
+		return 0, fmt.Errorf("wire: round %d exceeds limit %d", n, uint64(MaxRound))
+	}
+	return n, nil
+}
+
 func writeUvarint(w *bytes.Buffer, n uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	w.Write(buf[:binary.PutUvarint(buf[:], n)])
@@ -60,7 +78,9 @@ func readValue(r *bytes.Reader) (values.Value, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return "", fmt.Errorf("wire: truncated value: %w", err)
 	}
-	return values.Value(buf), nil
+	// Interning collapses the thousands of copies of each proposal value
+	// that arrive across frames onto one shared backing allocation.
+	return values.Intern(values.Value(buf)), nil
 }
 
 func writeSet(w *bytes.Buffer, s values.Set) {
@@ -181,7 +201,7 @@ func decodePayload(r *bytes.Reader) (giraf.Payload, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.ESSPayload{Proposed: s, History: h, Counters: c}, nil
+		return core.MakeESSPayload(s, h, c), nil
 	default:
 		return nil, fmt.Errorf("wire: unknown payload tag %d", tag)
 	}
@@ -203,7 +223,7 @@ func EncodeEnvelope(env giraf.Envelope) ([]byte, error) {
 // DecodeEnvelope parses a frame produced by EncodeEnvelope.
 func DecodeEnvelope(data []byte) (giraf.Envelope, error) {
 	r := bytes.NewReader(data)
-	round, err := readUvarint(r)
+	round, err := readRound(r)
 	if err != nil {
 		return giraf.Envelope{}, err
 	}

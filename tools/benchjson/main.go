@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output into the repository's
+// benchmark-trajectory file (BENCH_consensus.json by default). Each
+// invocation appends one labelled run, so the file accumulates a history
+// of measurements across PRs:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 10x . | \
+//	    go run ./tools/benchjson -label "my change"
+//
+// The Makefile `bench` target wraps exactly that pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one benchmark line.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// BenchRun is one labelled invocation of the suite.
+type BenchRun struct {
+	Label   string        `json:"label"`
+	Date    string        `json:"date"`
+	GoOS    string        `json:"goos"`
+	GoArch  string        `json:"goarch"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+// File is the trajectory file layout.
+type File struct {
+	Suite string     `json:"suite"`
+	Note  string     `json:"note"`
+	Runs  []BenchRun `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "", "label for this run (required)")
+	out := flag.String("out", "BENCH_consensus.json", "trajectory file to append to")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	run := BenchRun{
+		Label:  *label,
+		Date:   time.Now().UTC().Format("2006-01-02"),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		// Strip the -GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res := BenchResult{Name: name, Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		run.Results = append(run.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(run.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	file := File{
+		Suite: "anonconsensus T1–T10/F1–F3 experiment suite + hot-path micro-benchmarks",
+		Note:  "Append runs with `make bench` (or tools/benchjson); do not edit results by hand.",
+	}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is unreadable: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	file.Runs = append(file.Runs, run)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: appended %d results to %s (run %q)\n", len(run.Results), *out, *label)
+}
