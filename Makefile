@@ -9,8 +9,15 @@ GO        ?= go
 BENCHTIME ?= 10x
 BENCHOUT  ?= BENCH_consensus.json
 FUZZTIME  ?= 10s
+# bench-smoke regression threshold in percent. Generous by default: the
+# committed trajectory and the smoke run usually come from different
+# machines, and at the default BENCHTIME=10x single benchmarks can swing
+# ±50% on a loaded box, so the gate is for 2×-plus regressions, not
+# noise. Tighten it together with BENCHTIME (e.g. BENCHTIME=100x
+# BENCH_THRESHOLD=30) when measuring on quiet, comparable hardware.
+BENCH_THRESHOLD ?= 100
 
-.PHONY: test build vet bench fuzz-smoke
+.PHONY: test race build vet bench bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +28,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs the short suite under the race detector; CI runs it on every
+# push so the trial plane's concurrency stays race-checked.
+race:
+	$(GO) test -race -short ./...
+
 # bench runs the T1–T10/F1–F3 experiment suite plus the hot-path
 # micro-benchmarks with allocation stats and appends a labelled run to the
 # benchmark trajectory file (see PERFORMANCE.md).
@@ -28,6 +40,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
 		| tee /dev/stderr \
 		| $(GO) run ./tools/benchjson -label "$(or $(LABEL),local $(shell git rev-parse --short HEAD 2>/dev/null))" -out $(BENCHOUT)
+
+# bench-smoke measures the suite into a scratch trajectory and fails if
+# any benchmark regressed more than BENCH_THRESHOLD% against the last run
+# recorded in $(BENCHOUT). It never modifies $(BENCHOUT).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./tools/benchjson -label "bench-smoke" -out $(BENCHOUT).smoke.json
+	status=0; $(GO) run ./tools/benchjson -compare -threshold $(BENCH_THRESHOLD) $(BENCHOUT) $(BENCHOUT).smoke.json || status=$$?; \
+		rm -f $(BENCHOUT).smoke.json; exit $$status
 
 # fuzz-smoke gives each native fuzz target a short budget; CI runs it on
 # every push so codec and framing regressions surface before a long fuzz

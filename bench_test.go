@@ -1,6 +1,7 @@
 package anonconsensus_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -210,6 +211,102 @@ func BenchmarkHistoryCounters(b *testing.B) {
 		c.Bump(h)
 		if !c.IsMaximal(h) {
 			b.Fatal("bumped history must be maximal")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trial-plane benchmarks: engine reuse and the batch runner.
+
+// esBatchConfigs builds one ES trial grid (fresh policies every call).
+func esBatchConfigs(runs, n int) []sim.Config {
+	cfgs := make([]sim.Config, runs)
+	props := core.DistinctProposals(n)
+	for i := range cfgs {
+		cfgs[i] = core.ConfigES(props, core.RunOpts{
+			Policy: &sim.ES{GST: 8, Pre: sim.MS{Seed: int64(i), MaxDelay: 3}},
+		})
+	}
+	return cfgs
+}
+
+// BenchmarkESEngineReuse runs the same workload as
+// BenchmarkESConsensusRound but on one engine rearmed with Engine.Reset,
+// isolating what the pooled procs + ring buffer save per run.
+func BenchmarkESEngineReuse(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			props := core.DistinctProposals(n)
+			mk := func() sim.Config {
+				return core.ConfigES(props, core.RunOpts{Policy: sim.Synchronous{}})
+			}
+			eng, err := sim.New(mk())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := eng.Run()
+				if !res.AllCorrectDecided() {
+					b.Fatal("undecided")
+				}
+				if err := eng.Reset(mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchES measures a 64-run ES trial grid through RunBatch,
+// sequentially and at full parallelism; the gap is the multicore speedup
+// of the trial plane (identical bytes out either way).
+func BenchmarkBatchES(b *testing.B) {
+	for _, par := range []int{1, 0} {
+		name := fmt.Sprintf("parallel=%d", par)
+		if par == 0 {
+			name = "parallel=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := sim.RunBatch(context.Background(), esBatchConfigs(64, 8), sim.BatchOpts{Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if !res.AllCorrectDecided() {
+						b.Fatal("undecided")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublicRunBatch exercises the public fan-out entry point.
+func BenchmarkPublicRunBatch(b *testing.B) {
+	items := make([]anonconsensus.BatchItem, 32)
+	for i := range items {
+		items[i] = anonconsensus.BatchItem{
+			Proposals: []anonconsensus.Value{
+				anonconsensus.NumValue(1), anonconsensus.NumValue(2), anonconsensus.NumValue(3),
+			},
+			Opts: []anonconsensus.Option{anonconsensus.WithSeed(int64(i))},
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, err := anonconsensus.RunBatch(context.Background(), items,
+			anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if _, ok := res.Agreed(); !ok {
+				b.Fatal("no agreement")
+			}
 		}
 	}
 }

@@ -8,7 +8,12 @@
 //	anonsim -exp T3          run one experiment
 //	anonsim -all             run the whole suite
 //	anonsim -all -quick      shrunken grids (seconds instead of minutes)
+//	anonsim -all -parallel 4 fan trials across 4 workers (same bytes out)
 //	anonsim -session 3       run N consensus instances over one Node session
+//
+// Experiment trials are independent, so -parallel only changes wall-clock
+// time: tables are byte-identical at any worker count (0, the default,
+// uses every core; 1 forces the sequential path).
 package main
 
 import (
@@ -24,21 +29,23 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		expID   = flag.String("exp", "", "run a single experiment (T1..T10, F1..F3)")
-		all     = flag.Bool("all", false, "run the whole suite")
-		quick   = flag.Bool("quick", false, "shrink parameter grids for a fast pass")
-		session = flag.Int("session", 0, "run this many consensus instances over one Node session (sim transport)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("exp", "", "run a single experiment (T1..T10, F1..F3)")
+		all      = flag.Bool("all", false, "run the whole suite")
+		quick    = flag.Bool("quick", false, "shrink parameter grids for a fast pass")
+		session  = flag.Int("session", 0, "run this many consensus instances over one Node session (sim transport)")
+		parallel = flag.Int("parallel", 0, "workers for experiment trials (0 = all cores, 1 = sequential); output is byte-identical at any setting")
 	)
 	flag.Parse()
 
-	if err := run(*list, *expID, *all, *quick, *session); err != nil {
+	if err := run(*list, *expID, *all, *quick, *session, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "anonsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, expID string, all, quick bool, session int) error {
+func run(list bool, expID string, all, quick bool, session, parallel int) error {
+	expt.SetParallelism(parallel)
 	switch {
 	case list:
 		for _, e := range expt.All() {

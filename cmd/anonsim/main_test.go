@@ -2,34 +2,43 @@ package main
 
 import (
 	"testing"
+
+	"anonconsensus/internal/expt"
 )
 
 func TestRunList(t *testing.T) {
-	if err := run(true, "", false, false, 0); err != nil {
+	if err := run(true, "", false, false, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleQuick(t *testing.T) {
-	if err := run(false, "T10", false, true, 0); err != nil {
+	if err := run(false, "T10", false, true, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(false, "T99", false, true, 0); err == nil {
+	if err := run(false, "T99", false, true, 0, 0); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunNothingToDo(t *testing.T) {
-	if err := run(false, "", false, false, 0); err == nil {
+	if err := run(false, "", false, false, 0, 0); err == nil {
 		t.Error("empty invocation must error")
 	}
 }
 
 func TestRunSession(t *testing.T) {
-	if err := run(false, "", false, false, 3); err != nil {
+	if err := run(false, "", false, false, 3, 0); err != nil {
 		t.Fatalf("session demo failed: %v", err)
+	}
+}
+
+func TestRunSingleQuickParallel(t *testing.T) {
+	defer expt.SetParallelism(0)
+	if err := run(false, "T5", false, true, 0, 2); err != nil {
+		t.Fatalf("-parallel run failed: %v", err)
 	}
 }

@@ -41,44 +41,54 @@ func (o RunOpts) ctx() context.Context {
 	return context.Background()
 }
 
+// config assembles the sim.Config shared by every consensus runner.
+func (o RunOpts) config(n int, aut func(i int) giraf.Automaton) sim.Config {
+	return sim.Config{
+		N:           n,
+		Automaton:   aut,
+		Policy:      o.Policy,
+		Crashes:     o.Crashes,
+		MaxRounds:   o.maxRounds(n),
+		RecordTrace: o.RecordTrace,
+		OnRound:     o.OnRound,
+	}
+}
+
+// ConfigES returns the sim.Config that RunES would execute, for callers
+// that fan grid points over sim.RunBatch instead of running inline. The
+// config's Policy (and OnRound closure, if any) belong to this one run.
+// RunOpts.Ctx is NOT carried into the config — cancellation of a batched
+// run is the batch runner's ctx argument's concern.
+func ConfigES(proposals []values.Value, opts RunOpts) sim.Config {
+	return opts.config(len(proposals), func(i int) giraf.Automaton { return NewES(proposals[i]) })
+}
+
+// ConfigESS is ConfigES for Algorithm 3.
+func ConfigESS(proposals []values.Value, opts RunOpts) sim.Config {
+	return opts.config(len(proposals), func(i int) giraf.Automaton { return NewESS(proposals[i]) })
+}
+
+// ConfigOmega is ConfigES for the Ω baseline. The oracle factory receives
+// the process index so tests can build eventually-accurate oracles.
+func ConfigOmega(proposals []values.Value, oracle func(i int) LeaderOracle, opts RunOpts) sim.Config {
+	return opts.config(len(proposals), func(i int) giraf.Automaton {
+		return NewOmegaConsensus(proposals[i], oracle(i))
+	})
+}
+
 // RunES simulates Algorithm 2 with one process per proposal value.
 func RunES(proposals []values.Value, opts RunOpts) (*sim.Result, error) {
-	return sim.RunContext(opts.ctx(), sim.Config{
-		N:           len(proposals),
-		Automaton:   func(i int) giraf.Automaton { return NewES(proposals[i]) },
-		Policy:      opts.Policy,
-		Crashes:     opts.Crashes,
-		MaxRounds:   opts.maxRounds(len(proposals)),
-		RecordTrace: opts.RecordTrace,
-		OnRound:     opts.OnRound,
-	})
+	return sim.RunContext(opts.ctx(), ConfigES(proposals, opts))
 }
 
 // RunESS simulates Algorithm 3 with one process per proposal value.
 func RunESS(proposals []values.Value, opts RunOpts) (*sim.Result, error) {
-	return sim.RunContext(opts.ctx(), sim.Config{
-		N:           len(proposals),
-		Automaton:   func(i int) giraf.Automaton { return NewESS(proposals[i]) },
-		Policy:      opts.Policy,
-		Crashes:     opts.Crashes,
-		MaxRounds:   opts.maxRounds(len(proposals)),
-		RecordTrace: opts.RecordTrace,
-		OnRound:     opts.OnRound,
-	})
+	return sim.RunContext(opts.ctx(), ConfigESS(proposals, opts))
 }
 
-// RunOmega simulates the Ω baseline. The oracle factory receives the
-// process index so tests can build eventually-accurate oracles.
+// RunOmega simulates the Ω baseline.
 func RunOmega(proposals []values.Value, oracle func(i int) LeaderOracle, opts RunOpts) (*sim.Result, error) {
-	return sim.RunContext(opts.ctx(), sim.Config{
-		N:           len(proposals),
-		Automaton:   func(i int) giraf.Automaton { return NewOmegaConsensus(proposals[i], oracle(i)) },
-		Policy:      opts.Policy,
-		Crashes:     opts.Crashes,
-		MaxRounds:   opts.maxRounds(len(proposals)),
-		RecordTrace: opts.RecordTrace,
-		OnRound:     opts.OnRound,
-	})
+	return sim.RunContext(opts.ctx(), ConfigOmega(proposals, oracle, opts))
 }
 
 // EventualOracle builds an Ω oracle family that stabilizes at round gst to

@@ -18,30 +18,44 @@ func seedsFor(quick bool) []int64 {
 	return []int64{1, 2, 3, 4, 5, 6, 7, 8}
 }
 
+// The tables below fan their grids over the batch runner: configs are
+// built in loop order, run across the worker pool, and post-processed in
+// the same loop order, so rendered output (and the first error reported)
+// is byte-identical to the sequential loops they replaced.
+
 // runT1: ES decision round vs n, synchronous-from-start and GST=10.
 func runT1(w io.Writer, quick bool) error {
 	ns := []int{2, 4, 8, 16, 32, 64}
 	if quick {
 		ns = []int{2, 4, 8}
 	}
-	t := newTable("n", "rounds (GST=0)", "rounds (GST=10, mean)", "broadcasts (GST=10, mean)")
+	seeds := seedsFor(quick)
+	var cfgs []sim.Config
 	for _, n := range ns {
 		props := core.DistinctProposals(n)
-		syncRes, err := core.RunES(props, core.RunOpts{Policy: sim.Synchronous{}})
-		if err != nil {
-			return err
+		cfgs = append(cfgs, core.ConfigES(props, core.RunOpts{Policy: sim.Synchronous{}}))
+		for _, seed := range seeds {
+			cfgs = append(cfgs, core.ConfigES(props, core.RunOpts{
+				Policy: &sim.ES{GST: 10, Pre: sim.MS{Seed: seed, MaxDelay: 3}},
+			}))
 		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return err
+	}
+	t := newTable("n", "rounds (GST=0)", "rounds (GST=10, mean)", "broadcasts (GST=10, mean)")
+	k := 0
+	for _, n := range ns {
+		syncRes := results[k]
+		k++
 		if !syncRes.AllCorrectDecided() {
 			return fmt.Errorf("T1: undecided synchronous run at n=%d", n)
 		}
 		var rounds, bcasts []int
-		for _, seed := range seedsFor(quick) {
-			res, err := core.RunES(props, core.RunOpts{
-				Policy: &sim.ES{GST: 10, Pre: sim.MS{Seed: seed, MaxDelay: 3}},
-			})
-			if err != nil {
-				return err
-			}
+		for _, seed := range seeds {
+			res := results[k]
+			k++
 			if err := res.CheckAgreement(); err != nil {
 				return fmt.Errorf("T1 n=%d seed=%d: %w", n, seed, err)
 			}
@@ -63,18 +77,28 @@ func runT2(w io.Writer, quick bool) error {
 		gsts = []int{0, 4, 8}
 	}
 	const n = 8
-	t := newTable("GST", "first decision (mean)", "last decision (mean)", "last − GST")
+	seeds := seedsFor(quick)
+	var cfgs []sim.Config
 	for _, gst := range gsts {
-		var firsts, lasts []int
-		for _, seed := range seedsFor(quick) {
-			res, err := core.RunES(core.DistinctProposals(n), core.RunOpts{
+		for _, seed := range seeds {
+			cfgs = append(cfgs, core.ConfigES(core.DistinctProposals(n), core.RunOpts{
 				// Alternating pre-GST sources keep the system undecided
 				// until stabilization, so GST is actually load-bearing.
 				Policy: &sim.ES{GST: gst, Pre: sim.MS{Seed: seed, Alternate: true}},
-			})
-			if err != nil {
-				return err
-			}
+			}))
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return err
+	}
+	t := newTable("GST", "first decision (mean)", "last decision (mean)", "last − GST")
+	k := 0
+	for _, gst := range gsts {
+		var firsts, lasts []int
+		for _, seed := range seeds {
+			res := results[k]
+			k++
 			if !res.AllCorrectDecided() {
 				return fmt.Errorf("T2: undecided run at gst=%d seed=%d", gst, seed)
 			}
@@ -94,29 +118,42 @@ func runT3(w io.Writer, quick bool) error {
 		ns = []int{2, 4}
 	}
 	const gst = 8
-	t := newTable("n", "last decision (mean)", "last decision (max)", "max history len")
-	for _, n := range ns {
-		var lasts []int
-		maxLast, maxHist := 0, 0
-		for _, seed := range seedsFor(quick) {
+	seeds := seedsFor(quick)
+	var cfgs []sim.Config
+	hists := make([]int, len(ns)*len(seeds))
+	for ni, n := range ns {
+		for si, seed := range seeds {
 			props := core.DistinctProposals(n)
-			var hist int
-			res, err := core.RunESS(props, core.RunOpts{
+			hist := &hists[ni*len(seeds)+si]
+			cfgs = append(cfgs, core.ConfigESS(props, core.RunOpts{
 				Policy:    &sim.ESS{GST: gst, StableSource: int(seed) % n, Pre: sim.MS{Seed: seed, Alternate: true}},
 				MaxRounds: 600,
+				// Runs on the worker executing this one config; *hist is
+				// owned by this run until the batch returns.
 				OnRound: func(r int, e *sim.Engine) {
 					for i := 0; i < e.N(); i++ {
 						if a, ok := e.Automaton(i).(*core.ESS); ok && !e.Proc(i).Halted() {
-							if l := a.History().Len(); l > hist {
-								hist = l
+							if l := a.History().Len(); l > *hist {
+								*hist = l
 							}
 						}
 					}
 				},
-			})
-			if err != nil {
-				return err
-			}
+			}))
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return err
+	}
+	t := newTable("n", "last decision (mean)", "last decision (max)", "max history len")
+	k := 0
+	for _, n := range ns {
+		var lasts []int
+		maxLast, maxHist := 0, 0
+		for _, seed := range seeds {
+			res, hist := results[k], hists[k]
+			k++
 			if err := res.CheckAgreement(); err != nil {
 				return fmt.Errorf("T3 n=%d seed=%d: %w", n, seed, err)
 			}
@@ -144,19 +181,37 @@ func runT4(w io.Writer, quick bool) error {
 		grid = []point{{3, 2}, {5, 2}}
 	}
 	const gst = 8
+	seeds := seedsFor(quick)
+	var cfgs []sim.Config
+	var finish []func(*sim.Result) (int, error)
+	for _, pt := range grid {
+		for _, seed := range seeds {
+			src := int(seed) % pt.n
+			cfg, fin := leaderStableTrial(pt.n, pt.distinct, gst, src, seed)
+			cfgs, finish = append(cfgs, cfg), append(finish, fin)
+			cfg, fin = omegaStableTrial(pt.n, gst, src, seed)
+			cfgs, finish = append(cfgs, cfg), append(finish, fin)
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return err
+	}
 	t := newTable("n", "#values", "anon leader stable at (mean)", "Ω(IDs) stable at (mean)")
+	k := 0
 	for _, pt := range grid {
 		var anonRounds, omegaRounds []int
-		for _, seed := range seedsFor(quick) {
-			src := int(seed) % pt.n
-			anon, err := leaderStableRound(pt.n, pt.distinct, gst, src, seed)
+		for range seeds {
+			anon, err := finish[k](results[k])
 			if err != nil {
 				return err
 			}
-			omega, err := omegaStableRound(pt.n, gst, src, seed)
+			k++
+			omega, err := finish[k](results[k])
 			if err != nil {
 				return err
 			}
+			k++
 			anonRounds = append(anonRounds, anon)
 			omegaRounds = append(omegaRounds, omega)
 		}
@@ -165,16 +220,17 @@ func runT4(w io.Writer, quick bool) error {
 	return t.write(w)
 }
 
-// leaderStableRound runs ESS and returns the first round from which the
-// self-considered leader set stayed stable until the first decision.
-func leaderStableRound(n, distinct, gst, src int, seed int64) (int, error) {
+// leaderStableTrial builds the ESS run whose finisher returns the first
+// round from which the self-considered leader set stayed stable until the
+// first decision.
+func leaderStableTrial(n, distinct, gst, src int, seed int64) (sim.Config, func(*sim.Result) (int, error)) {
 	props := core.SplitProposals(n, distinct)
 	type sample struct {
 		round   int
 		leaders string
 	}
 	var samples []sample
-	res, err := core.RunESS(props, core.RunOpts{
+	cfg := core.ConfigESS(props, core.RunOpts{
 		Policy:    &sim.ESS{GST: gst, StableSource: src, Pre: sim.MS{Seed: seed, Alternate: true}},
 		MaxRounds: 600,
 		OnRound: func(r int, e *sim.Engine) {
@@ -187,34 +243,34 @@ func leaderStableRound(n, distinct, gst, src int, seed int64) (int, error) {
 			samples = append(samples, sample{round: r, leaders: key})
 		},
 	})
-	if err != nil {
-		return 0, err
-	}
-	if !res.AllCorrectDecided() {
-		return 0, fmt.Errorf("T4: undecided ESS run (n=%d seed=%d)", n, seed)
-	}
-	end := res.FirstDecisionRound()
-	stable := end
-	for i := len(samples) - 1; i > 0; i-- {
-		if samples[i].round >= end {
-			continue
+	finish := func(res *sim.Result) (int, error) {
+		if !res.AllCorrectDecided() {
+			return 0, fmt.Errorf("T4: undecided ESS run (n=%d seed=%d)", n, seed)
 		}
-		if samples[i].leaders != samples[i-1].leaders {
-			break
+		end := res.FirstDecisionRound()
+		stable := end
+		for i := len(samples) - 1; i > 0; i-- {
+			if samples[i].round >= end {
+				continue
+			}
+			if samples[i].leaders != samples[i-1].leaders {
+				break
+			}
+			stable = samples[i].round
 		}
-		stable = samples[i].round
+		return stable, nil
 	}
-	return stable, nil
+	return cfg, finish
 }
 
-// omegaStableRound runs the ID-based Ω tracker on the same schedule shape
-// and returns the first round from which all leader estimates equal the
-// source and never change again.
-func omegaStableRound(n, gst, src int, seed int64) (int, error) {
+// omegaStableTrial builds the ID-based Ω tracker run on the same schedule
+// shape; its finisher returns the first round from which all leader
+// estimates equal the source and never change again.
+func omegaStableTrial(n, gst, src int, seed int64) (sim.Config, func(*sim.Result) (int, error)) {
 	trackers := make([]*fd.OmegaTracker, n)
 	lastUnstable := 0
 	const rounds = 300
-	_, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		N: n,
 		Automaton: func(i int) giraf.Automaton {
 			trackers[i] = fd.NewOmegaTracker(i)
@@ -230,14 +286,14 @@ func omegaStableRound(n, gst, src int, seed int64) (int, error) {
 				}
 			}
 		},
-	})
-	if err != nil {
-		return 0, err
 	}
-	if lastUnstable >= rounds {
-		return 0, fmt.Errorf("T4: Ω never stabilized (n=%d seed=%d)", n, seed)
+	finish := func(*sim.Result) (int, error) {
+		if lastUnstable >= rounds {
+			return 0, fmt.Errorf("T4: Ω never stabilized (n=%d seed=%d)", n, seed)
+		}
+		return lastUnstable + 1, nil
 	}
-	return lastUnstable + 1, nil
+	return cfg, finish
 }
 
 // runT5: decision rounds under crash sweeps, ES and ESS.
@@ -247,34 +303,41 @@ func runT5(w io.Writer, quick bool) error {
 	if quick {
 		crashCounts = []int{0, 4}
 	}
-	t := newTable("crashes", "ES last decision (mean)", "ESS last decision (mean)")
+	seeds := seedsFor(quick)
+	var cfgs []sim.Config
 	for _, f := range crashCounts {
-		var esRounds, essRounds []int
-		for _, seed := range seedsFor(quick) {
+		for _, seed := range seeds {
 			crashes := make(map[int]int)
 			for i := 0; i < f; i++ {
 				crashes[i] = 2*i + 1 // staggered crashes
 			}
 			props := core.DistinctProposals(n)
-			esRes, err := core.RunES(props, core.RunOpts{
+			cfgs = append(cfgs, core.ConfigES(props, core.RunOpts{
 				Policy:  &sim.ES{GST: 10, Pre: sim.MS{Seed: seed}},
 				Crashes: crashes,
-			})
-			if err != nil {
-				return err
-			}
-			if !esRes.AllCorrectDecided() {
-				return fmt.Errorf("T5: undecided ES run (f=%d seed=%d)", f, seed)
-			}
+			}))
 			// The stable source must survive: use the highest index (never
 			// crashed in the staggered schedule).
-			essRes, err := core.RunESS(props, core.RunOpts{
+			cfgs = append(cfgs, core.ConfigESS(props, core.RunOpts{
 				Policy:    &sim.ESS{GST: 10, StableSource: n - 1, Pre: sim.MS{Seed: seed}},
 				Crashes:   crashes,
 				MaxRounds: 600,
-			})
-			if err != nil {
-				return err
+			}))
+		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return err
+	}
+	t := newTable("crashes", "ES last decision (mean)", "ESS last decision (mean)")
+	k := 0
+	for _, f := range crashCounts {
+		var esRounds, essRounds []int
+		for _, seed := range seeds {
+			esRes, essRes := results[k], results[k+1]
+			k += 2
+			if !esRes.AllCorrectDecided() {
+				return fmt.Errorf("T5: undecided ES run (f=%d seed=%d)", f, seed)
 			}
 			if !essRes.AllCorrectDecided() {
 				return fmt.Errorf("T5: undecided ESS run (f=%d seed=%d)", f, seed)

@@ -18,7 +18,7 @@ func runT10(w io.Writer, quick bool) error {
 		horizon = 200
 	}
 	t := newTable("candidate", "violated property", "p0 outputs {p0} at", "p1 outputs {p1} at")
-	for _, c := range []struct {
+	candidates := []struct {
 		name string
 		mk   func() fd.SigmaCandidate
 	}{
@@ -26,12 +26,22 @@ func runT10(w io.Writer, quick bool) error {
 		{"timeout quorum (W=10)", func() fd.SigmaCandidate { return &fd.TimeoutQuorum{Window: 10} }},
 		{"majority stick (S=5)", func() fd.SigmaCandidate { return &fd.MajorityStick{Silence: 5} }},
 		{"eager self", func() fd.SigmaCandidate { return &fd.EagerSelf{} }},
-	} {
-		h := &fd.Prop4Harness{New: c.mk, Horizon: horizon}
+	}
+	violations := make([]*fd.Violation, len(candidates))
+	err := forTrials(len(candidates), func(i int) error {
+		h := &fd.Prop4Harness{New: candidates[i].mk, Horizon: horizon}
 		v, err := h.Disprove()
 		if err != nil {
-			return fmt.Errorf("T10 %s: %w", c.name, err)
+			return fmt.Errorf("T10 %s: %w", candidates[i].name, err)
 		}
+		violations[i] = v
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range candidates {
+		v := violations[i]
 		r1, r2 := "-", "-"
 		if v.RunOneRound > 0 {
 			r1 = fmt.Sprint(v.RunOneRound)
@@ -52,51 +62,42 @@ func runF1(w io.Writer, quick bool) error {
 	}
 	const n, gst = 8, 10
 	t := newTable("algorithm", "runs", "p50", "p90", "p99", "max")
-	collect := func(run func(seed int64) (int, error)) ([]int, error) {
-		var out []int
-		for seed := int64(0); seed < int64(seeds); seed++ {
-			r, err := run(seed)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, r)
-		}
-		return out, nil
-	}
-	esRounds, err := collect(func(seed int64) (int, error) {
-		res, err := core.RunES(core.DistinctProposals(n), core.RunOpts{
+	// One batch for both algorithms: ES configs first, then ESS, each seed
+	// an independent run.
+	cfgs := make([]sim.Config, 0, 2*seeds)
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		cfgs = append(cfgs, core.ConfigES(core.DistinctProposals(n), core.RunOpts{
 			Policy: &sim.ES{GST: gst, Pre: sim.MS{Seed: seed, MaxDelay: 4, Alternate: seed%2 == 0}},
-		})
-		if err != nil {
-			return 0, err
-		}
-		if !res.AllCorrectDecided() {
-			return 0, fmt.Errorf("F1 ES: undecided seed %d", seed)
-		}
-		if err := res.CheckAgreement(); err != nil {
-			return 0, fmt.Errorf("F1 ES seed %d: %w", seed, err)
-		}
-		return res.LastDecisionRound(), nil
-	})
+		}))
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		cfgs = append(cfgs, core.ConfigESS(core.DistinctProposals(n), core.RunOpts{
+			Policy:    &sim.ESS{GST: gst, StableSource: int(seed) % n, Pre: sim.MS{Seed: seed, Alternate: seed%2 == 0}},
+			MaxRounds: 800,
+		}))
+	}
+	results, err := runConfigs(cfgs)
 	if err != nil {
 		return err
 	}
-	essRounds, err := collect(func(seed int64) (int, error) {
-		res, err := core.RunESS(core.DistinctProposals(n), core.RunOpts{
-			Policy:    &sim.ESS{GST: gst, StableSource: int(seed) % n, Pre: sim.MS{Seed: seed, Alternate: seed%2 == 0}},
-			MaxRounds: 800,
-		})
-		if err != nil {
-			return 0, err
+	collect := func(alg string, results []*sim.Result) ([]int, error) {
+		var out []int
+		for seed, res := range results {
+			if !res.AllCorrectDecided() {
+				return nil, fmt.Errorf("F1 %s: undecided seed %d", alg, seed)
+			}
+			if err := res.CheckAgreement(); err != nil {
+				return nil, fmt.Errorf("F1 %s seed %d: %w", alg, seed, err)
+			}
+			out = append(out, res.LastDecisionRound())
 		}
-		if !res.AllCorrectDecided() {
-			return 0, fmt.Errorf("F1 ESS: undecided seed %d", seed)
-		}
-		if err := res.CheckAgreement(); err != nil {
-			return 0, fmt.Errorf("F1 ESS seed %d: %w", seed, err)
-		}
-		return res.LastDecisionRound(), nil
-	})
+		return out, nil
+	}
+	esRounds, err := collect("ES", results[:seeds])
+	if err != nil {
+		return err
+	}
+	essRounds, err := collect("ESS", results[seeds:])
 	if err != nil {
 		return err
 	}
@@ -157,15 +158,20 @@ func runF3(w io.Writer, quick bool) error {
 		horizons = []int{50, 100}
 	}
 	t := newTable("rounds run", "MS property", "decisions", "conclusion")
-	for _, h := range horizons {
-		res, err := core.RunES(core.SplitProposals(4, 2), core.RunOpts{
+	cfgs := make([]sim.Config, len(horizons))
+	for i, h := range horizons {
+		cfgs[i] = core.ConfigES(core.SplitProposals(4, 2), core.RunOpts{
 			Policy:      &sim.AlternatingMS{A: 0, B: 3},
 			MaxRounds:   h,
 			RecordTrace: true,
 		})
-		if err != nil {
-			return err
-		}
+	}
+	results, err := runConfigs(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, h := range horizons {
+		res := results[i]
 		msOK := "holds every round"
 		if err := res.Trace.CheckMS(); err != nil {
 			msOK = err.Error()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -42,6 +43,19 @@ func runT11(w io.Writer, quick bool) error {
 	return t.write(w)
 }
 
+// ofTrialSeed derives the RNG seed for one proposer of one trial. A
+// splitmix64-style mix keeps the streams distinct: the previous
+// `seed*97+i` offset scheme let (trial, proposer) pairs from nearby
+// trials land on the same seed and march through identical backoff
+// sequences in lockstep.
+func ofTrialSeed(trial int64, proposer int) int64 {
+	z := uint64(trial)*0x9E3779B97F4A7C15 + uint64(proposer+1)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0x94D049BB133111EB
+	z ^= z >> 27
+	return int64(z)
+}
+
 // runOFTrial races p proposers with randomized backoff until everyone
 // holds a decision; it returns the total Propose attempts and whether all
 // decisions agreed.
@@ -58,7 +72,7 @@ func runOFTrial(p int, seed int64) (attempts int, agreed bool) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed*97 + int64(i)))
+			rng := rand.New(rand.NewSource(ofTrialSeed(seed, i)))
 			for attempt := 1; ; attempt++ {
 				if v, ok := c.Decided(); ok {
 					mu.Lock()
@@ -81,7 +95,20 @@ func runOFTrial(p int, seed int64) (attempts int, agreed bool) {
 					mu.Unlock()
 					return
 				}
-				time.Sleep(time.Duration(rng.Intn(1<<uint(minHorizon(attempt, 9)))) * time.Microsecond)
+				// Back off before re-contending. The draw can be 0µs on
+				// early attempts, which used to degenerate into a hot spin
+				// re-polling Decided with a core pegged per proposer; always
+				// give the scheduler a chance, and sleep at least 1µs once
+				// contention persists.
+				backoff := rng.Intn(1 << uint(minHorizon(attempt, 9)))
+				if attempt > 1 && backoff == 0 {
+					backoff = 1
+				}
+				if backoff == 0 {
+					runtime.Gosched()
+				} else {
+					time.Sleep(time.Duration(backoff) * time.Microsecond)
+				}
 			}
 		}()
 	}

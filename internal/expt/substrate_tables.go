@@ -28,15 +28,11 @@ func runT6(w io.Writer, quick bool) error {
 	t := newTable("algorithm", "rounds", "total payload bytes", "max envelope bytes", "bytes/broadcast")
 
 	props := core.DistinctProposals(n)
-	esRes, err := core.RunES(props, core.RunOpts{Policy: &sim.ES{GST: gst, Pre: sim.MS{Seed: 1}}})
-	if err != nil {
-		return err
-	}
-	essRes, err := core.RunESS(props, core.RunOpts{Policy: pol(1), MaxRounds: 600})
-	if err != nil {
-		return err
-	}
-	omegaRes, err := core.RunOmega(props, core.EventualOracle(0, gst), core.RunOpts{Policy: pol(1), MaxRounds: 600})
+	results, err := runConfigs([]sim.Config{
+		core.ConfigES(props, core.RunOpts{Policy: &sim.ES{GST: gst, Pre: sim.MS{Seed: 1}}}),
+		core.ConfigESS(props, core.RunOpts{Policy: pol(1), MaxRounds: 600}),
+		core.ConfigOmega(props, core.EventualOracle(0, gst), core.RunOpts{Policy: pol(1), MaxRounds: 600}),
+	})
 	if err != nil {
 		return err
 	}
@@ -44,9 +40,9 @@ func runT6(w io.Writer, quick bool) error {
 		name string
 		res  *sim.Result
 	}{
-		{"ES (Alg 2)", esRes},
-		{"ESS (Alg 3, anon pseudo-leader)", essRes},
-		{"Ω baseline (oracle IDs)", omegaRes},
+		{"ES (Alg 2)", results[0]},
+		{"ESS (Alg 3, anon pseudo-leader)", results[1]},
+		{"Ω baseline (oracle IDs)", results[2]},
 	} {
 		if !row.res.AllCorrectDecided() {
 			return fmt.Errorf("T6: %s run undecided", row.name)
@@ -68,19 +64,48 @@ func runT7(w io.Writer, quick bool) error {
 		delays = []int{1, 4}
 	}
 	t := newTable("max delay", "rotation", "add latency rounds (mean)", "add latency rounds (max)")
+	// The weak-set driver owns its own engine, so the grid fans out over
+	// forTrials rather than the sim batch runner; collection stays in grid
+	// order.
+	seeds := seedsFor(quick)
+	rots := []int{1, 4}
+	type trial struct {
+		d, rot int
+		seed   int64
+		res    *weakset.SimResult
+	}
+	var trials []trial
 	for _, d := range delays {
-		for _, rot := range []int{1, 4} {
+		for _, rot := range rots {
+			for _, seed := range seeds {
+				trials = append(trials, trial{d: d, rot: rot, seed: seed})
+			}
+		}
+	}
+	err := forTrials(len(trials), func(i int) error {
+		tr := &trials[i]
+		ops := []weakset.ScheduledOp{
+			{Proc: 0, Round: 1, Kind: weakset.OpAdd, Value: values.Num(1)},
+			{Proc: 2, Round: 2, Kind: weakset.OpAdd, Value: values.Num(2)},
+		}
+		res, err := weakset.RunMS(5, ops, &sim.MS{Seed: tr.seed, MaxDelay: tr.d, RotationPeriod: tr.rot}, 60+20*tr.d, nil)
+		if err != nil {
+			return err
+		}
+		tr.res = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	k := 0
+	for _, d := range delays {
+		for _, rot := range rots {
 			var lats []int
 			maxLat := 0
-			for _, seed := range seedsFor(quick) {
-				ops := []weakset.ScheduledOp{
-					{Proc: 0, Round: 1, Kind: weakset.OpAdd, Value: values.Num(1)},
-					{Proc: 2, Round: 2, Kind: weakset.OpAdd, Value: values.Num(2)},
-				}
-				res, err := weakset.RunMS(5, ops, &sim.MS{Seed: seed, MaxDelay: d, RotationPeriod: rot}, 60+20*d, nil)
-				if err != nil {
-					return err
-				}
+			for _, seed := range seeds {
+				res := trials[k].res
+				k++
 				if err := res.Checker.Check(); err != nil {
 					return fmt.Errorf("T7 d=%d seed=%d: %w", d, seed, err)
 				}

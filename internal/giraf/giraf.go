@@ -154,6 +154,20 @@ func newRoundInbox() *roundInbox {
 	}
 }
 
+// recycle clears the storage for reuse by a later round (or run), keeping
+// the map buckets and slice capacity warm.
+func (ri *roundInbox) recycle() {
+	clear(ri.byFP)
+	clear(ri.keys[:cap(ri.keys)])
+	clear(ri.pays[:cap(ri.pays)]) // drop payload refs so reuse doesn't pin them
+	clear(ri.fps[:cap(ri.fps)])
+	ri.keys = ri.keys[:0]
+	ri.pays = ri.pays[:0]
+	ri.fps = ri.fps[:0]
+	ri.view = nil
+	ri.envFP = values.Fingerprint{}
+}
+
 // insert adds a payload with the given canonical key and fingerprint,
 // keeping the key order; it reports whether the payload was new.
 func (ri *roundInbox) insert(key string, fp values.Fingerprint, pay Payload) bool {
@@ -211,6 +225,10 @@ type Proc struct {
 	decision Decision
 	lastOwn  Payload
 
+	// spare holds recycled round inboxes (from Reset and CompactBefore)
+	// that future merges reuse instead of allocating.
+	spare []*roundInbox
+
 	// delivered counts payload-set merges that actually added something;
 	// exposed for metrics.
 	delivered int
@@ -266,10 +284,22 @@ func (p *Proc) Receive(env Envelope) {
 	p.merge(env.Round, env.Payloads)
 }
 
+// takeRoundInbox returns a cleared round inbox, reusing recycled storage
+// when available.
+func (p *Proc) takeRoundInbox() *roundInbox {
+	if n := len(p.spare); n > 0 {
+		ri := p.spare[n-1]
+		p.spare[n-1] = nil
+		p.spare = p.spare[:n-1]
+		return ri
+	}
+	return newRoundInbox()
+}
+
 func (p *Proc) merge(round int, payloads []Payload) {
 	ri := p.inbox[round]
 	if ri == nil {
-		ri = newRoundInbox()
+		ri = p.takeRoundInbox()
 		p.inbox[round] = ri
 	}
 	for _, pay := range payloads {
@@ -344,9 +374,31 @@ func (p *Proc) InboxRounds() int { return len(p.inbox) }
 // like Algorithm 4 but means compaction must not be combined with
 // exactly-once delivery accounting.
 func (p *Proc) CompactBefore(k int) {
-	for round := range p.inbox {
+	for round, ri := range p.inbox {
 		if round < k {
+			ri.recycle()
+			p.spare = append(p.spare, ri)
 			delete(p.inbox, round)
 		}
+	}
+}
+
+// Reset rearms the framework state around a fresh automaton so repeated
+// trial loops can reuse one Proc per slot instead of cold-allocating: the
+// inbox map keeps its buckets and every round inbox is recycled into the
+// spare list consumed by future merges. After Reset the Proc is
+// indistinguishable from NewProc(aut) except for warm storage.
+func (p *Proc) Reset(aut Automaton) {
+	p.aut = aut
+	p.round = 0
+	p.fresh = nil
+	p.halted = false
+	p.decision = Decision{}
+	p.lastOwn = nil
+	p.delivered = 0
+	for round, ri := range p.inbox {
+		ri.recycle()
+		p.spare = append(p.spare, ri)
+		delete(p.inbox, round)
 	}
 }

@@ -1,6 +1,7 @@
 package giraf
 
 import (
+	"fmt"
 	"testing"
 
 	"anonconsensus/internal/values"
@@ -175,5 +176,69 @@ func TestDeliveredAndLastOwnPayload(t *testing.T) {
 	p.Receive(Envelope{Round: 1, Payloads: []Payload{setPayload{values.NewSet(values.Num(7))}}})
 	if p.Delivered() != 2 {
 		t.Errorf("Delivered = %d, want 2", p.Delivered())
+	}
+}
+
+// driveProc runs a proc for a few rounds with a peer payload mixed in and
+// returns a behavior transcript (round, inbox sizes, envelope payloads).
+func driveProc(t *testing.T, p *Proc) string {
+	t.Helper()
+	out := ""
+	for r := 0; r < 4; r++ {
+		env, ok := p.EndOfRound()
+		out += fmt.Sprintf("r=%d ok=%v n=%d size=%d;", p.CurrentRound(), ok, len(env.Payloads), p.InboxSize(p.CurrentRound()))
+		peer := setPayload{values.NewSet(values.Num(int64(90 + r)))}
+		p.Receive(Envelope{Round: p.CurrentRound(), Payloads: []Payload{peer}})
+		out += fmt.Sprintf("fresh=%d;", len(p.Fresh()))
+	}
+	return out
+}
+
+func TestProcResetMatchesFresh(t *testing.T) {
+	// A Reset proc must behave byte-identically to a newly built one, with
+	// inbox storage recycled rather than reallocated.
+	fresh := NewProc(&echoAutomaton{v: values.Num(1)})
+	want := driveProc(t, fresh)
+
+	reused := NewProc(&echoAutomaton{v: values.Num(7)})
+	driveProc(t, reused) // dirty it with a different automaton's run
+	reused.Reset(&echoAutomaton{v: values.Num(1)})
+	if reused.CurrentRound() != 0 || reused.Halted() || reused.Decision().Decided ||
+		reused.Delivered() != 0 || reused.LastOwnPayload() != nil || reused.InboxRounds() != 0 {
+		t.Fatal("Reset left framework state behind")
+	}
+	if got := driveProc(t, reused); got != want {
+		t.Errorf("reused proc diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestProcResetRecyclesInboxStorage(t *testing.T) {
+	p := NewProc(&echoAutomaton{v: values.Num(1)})
+	driveProc(t, p)
+	rounds := p.InboxRounds()
+	if rounds == 0 {
+		t.Fatal("run left no inbox rounds to recycle")
+	}
+	p.Reset(&echoAutomaton{v: values.Num(2)})
+	if len(p.spare) != rounds {
+		t.Errorf("spare inboxes = %d, want %d (all rounds recycled)", len(p.spare), rounds)
+	}
+	p.EndOfRound()
+	if len(p.spare) != rounds-1 {
+		t.Errorf("spare inboxes after a merge = %d, want %d (storage reused)", len(p.spare), rounds-1)
+	}
+}
+
+func TestCompactBeforeRecycles(t *testing.T) {
+	p := NewProc(&echoAutomaton{v: values.Num(1)})
+	p.EndOfRound()
+	p.EndOfRound()
+	p.EndOfRound() // rounds 1..3 populated
+	p.CompactBefore(3)
+	if p.InboxRounds() != 1 {
+		t.Fatalf("rounds after compact = %d, want 1", p.InboxRounds())
+	}
+	if len(p.spare) != 2 {
+		t.Errorf("spare inboxes = %d, want 2", len(p.spare))
 	}
 }

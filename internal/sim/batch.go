@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchOpts configures RunBatch.
+type BatchOpts struct {
+	// Parallelism bounds the number of worker goroutines; 0 (or negative)
+	// means GOMAXPROCS. Parallelism 1 runs the batch sequentially on the
+	// calling goroutine's worker.
+	Parallelism int
+}
+
+func (o BatchOpts) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunBatch executes a set of independent simulation runs across a bounded
+// worker pool and returns their results in submission order: results[i]
+// is exactly what RunContext(ctx, cfgs[i]) would have produced, so output
+// is byte-identical to the sequential path regardless of parallelism.
+//
+// The determinism argument: runs share nothing. Each config carries its
+// own Policy (policies are stateful and MUST NOT be shared between the
+// configs of one batch), its own Automaton factory, and — when set — its
+// own OnRound hook, which is invoked on the worker goroutine executing
+// that run and must therefore only touch state owned by that config.
+// Workers own a reusable Engine each (Reset between runs), so a batch of
+// k runs allocates engine state for min(k, parallelism) engines, not k.
+//
+// Error handling is deterministic too: every run is attempted (an error
+// in one run never cancels its siblings — only ctx does), and the first
+// error in submission order is returned alongside the partial results
+// (failed slots are nil).
+func RunBatch(ctx context.Context, cfgs []Config, opts BatchOpts) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := opts.parallelism()
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		runBatchWorker(ctx, cfgs, results, errs, seqIndices(len(cfgs)))
+		return results, firstErr(errs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			runBatchWorker(ctx, cfgs, results, errs, idx)
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, firstErr(errs)
+}
+
+// runBatchWorker drains indices, running each config on one reused engine.
+func runBatchWorker(ctx context.Context, cfgs []Config, results []*Result, errs []error, idx <-chan int) {
+	var eng *Engine
+	for i := range idx {
+		var err error
+		if eng == nil {
+			eng, err = New(cfgs[i])
+		} else {
+			err = eng.Reset(cfgs[i])
+		}
+		if err != nil {
+			errs[i] = err
+			eng = nil // a failed Reset leaves the engine unusable
+			continue
+		}
+		results[i], errs[i] = eng.RunContext(ctx)
+	}
+}
+
+// seqIndices returns a pre-filled, closed index channel for the
+// sequential path.
+func seqIndices(n int) <-chan int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	return ch
+}
+
+// firstErr returns the first error in submission order.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -185,38 +185,122 @@ type pendingDelivery struct {
 	env      giraf.Envelope
 }
 
+// dueRingHint is the initial delivery-ring window. Policy delays are
+// small in practice (the MS/Async default bound is 3), so eight slots
+// absorb the common case; longer delays grow the ring on demand.
+const dueRingHint = 8
+
 // Engine executes one configured run. Create with New, drive with Run.
+// Engines are reusable: Reset rearms one for a new configuration while
+// keeping its process, status and delivery-ring storage warm, which is
+// what makes repeated-trial loops (and the RunBatch workers) cheap.
 type Engine struct {
 	cfg    Config
 	procs  []*giraf.Proc
 	auts   []giraf.Automaton
 	status []ProcStatus
-	// due[step] holds deliveries scheduled for that step.
-	due     map[int][]pendingDelivery
+	// due is a ring of delivery queues indexed by absolute step modulo
+	// len(due): slot at%len(due) holds exactly the deliveries scheduled
+	// for step `at`. The invariant — every scheduled step lies in
+	// (cur, cur+len(due)] where cur is the step currently executing — holds
+	// because a policy's maximum delay bounds how far ahead an envelope can
+	// be scheduled; schedule grows the ring when a delay exceeds the
+	// window. Slot slices are truncated, not freed, on consumption, so
+	// steady-state scheduling allocates nothing.
+	due [][]pendingDelivery
+	// stepNum is the global step currently executing (cur above).
+	stepNum int
 	metrics Metrics
 	trace   *Trace
 }
 
 // New builds an engine; it returns an error on invalid configuration.
 func New(cfg Config) (*Engine, error) {
-	if err := cfg.validate(); err != nil {
+	e := &Engine{}
+	if err := e.Reset(cfg); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:    cfg,
-		procs:  make([]*giraf.Proc, cfg.N),
-		auts:   make([]giraf.Automaton, cfg.N),
-		status: make([]ProcStatus, cfg.N),
-		due:    make(map[int][]pendingDelivery),
+	return e, nil
+}
+
+// Reset rearms the engine for a new configuration, reusing process,
+// status and delivery-ring storage from the previous run. A Reset engine
+// behaves identically to a fresh New(cfg) one; only allocation behavior
+// differs. It returns an error on invalid configuration, leaving the
+// engine unusable until a successful Reset.
+func (e *Engine) Reset(cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	e.cfg = cfg
+	if cap(e.procs) >= cfg.N {
+		e.procs = e.procs[:cfg.N]
+		e.auts = e.auts[:cfg.N]
+		e.status = e.status[:cfg.N]
+	} else {
+		procs := make([]*giraf.Proc, cfg.N)
+		copy(procs, e.procs)
+		e.procs = procs
+		e.auts = make([]giraf.Automaton, cfg.N)
+		e.status = make([]ProcStatus, cfg.N)
 	}
 	for i := 0; i < cfg.N; i++ {
 		e.auts[i] = cfg.Automaton(i)
-		e.procs[i] = giraf.NewProc(e.auts[i])
+		if e.procs[i] != nil {
+			e.procs[i].Reset(e.auts[i])
+		} else {
+			e.procs[i] = giraf.NewProc(e.auts[i])
+		}
 	}
+	clear(e.status)
+	if e.due == nil {
+		e.due = make([][]pendingDelivery, dueRingHint)
+	} else {
+		for i := range e.due {
+			e.due[i] = truncatePending(e.due[i])
+		}
+	}
+	e.stepNum = 0
+	e.metrics = Metrics{}
+	e.trace = nil
 	if cfg.RecordTrace {
 		e.trace = newTrace(cfg.N)
 	}
-	return e, nil
+	return nil
+}
+
+// truncatePending empties a delivery slice for reuse, dropping envelope
+// references so recycled slots don't pin payloads from finished runs.
+func truncatePending(s []pendingDelivery) []pendingDelivery {
+	clear(s[:cap(s)])
+	return s[:0]
+}
+
+// schedule queues a delivery for absolute step at, growing the ring when
+// the delay reaches beyond the current window.
+func (e *Engine) schedule(at int, d pendingDelivery) {
+	if at-e.stepNum > len(e.due) {
+		e.growRing(at)
+	}
+	slot := at % len(e.due)
+	e.due[slot] = append(e.due[slot], d)
+}
+
+// growRing widens the delivery window to cover step at, re-placing queued
+// slots at their new indices. Slot i currently holds the unique step in
+// (e.step, e.step+len(due)] congruent to i modulo the old length.
+func (e *Engine) growRing(at int) {
+	oldLen := len(e.due)
+	newLen := oldLen * 2
+	for at-e.stepNum > newLen {
+		newLen *= 2
+	}
+	next := make([][]pendingDelivery, newLen)
+	for i, q := range e.due {
+		step := e.stepNum + 1 + ((i-(e.stepNum+1))%oldLen+oldLen)%oldLen
+		next[step%newLen] = q
+	}
+	e.due = next
 }
 
 // Proc returns the framework state of process i (for hooks and tests).
@@ -234,8 +318,8 @@ func (e *Engine) crashedAt(pid, step int) bool {
 	return ok && step >= cs
 }
 
-// Run executes the simulation and returns the result. The engine is
-// single-use: Run must be called once.
+// Run executes the simulation and returns the result. Run must be called
+// once per New or Reset.
 func (e *Engine) Run() *Result {
 	res, _ := e.RunContext(context.Background())
 	return res
@@ -255,6 +339,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sim: run cancelled at step %d: %w", step, err)
 		}
+		e.stepNum = step
 		e.deliverDue(step)
 		e.step(step)
 		if e.cfg.OnRound != nil {
@@ -289,17 +374,23 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	if e.trace != nil {
 		e.trace.Rounds = rounds
 	}
+	// Statuses is a copy: the engine's own status storage is reused by
+	// Reset, and a caller's Result must never mutate retroactively.
+	statuses := make([]ProcStatus, len(e.status))
+	copy(statuses, e.status)
 	return &Result{
-		Statuses: e.status,
+		Statuses: statuses,
 		Rounds:   rounds,
 		Metrics:  e.metrics,
 		Trace:    e.trace,
 	}, nil
 }
 
-// deliverDue merges all envelopes scheduled for this step into receivers.
+// deliverDue merges all envelopes scheduled for this step into receivers
+// and recycles the ring slot for step+len(due).
 func (e *Engine) deliverDue(step int) {
-	for _, d := range e.due[step] {
+	slot := step % len(e.due)
+	for _, d := range e.due[slot] {
 		if e.crashedAt(d.receiver, step) {
 			continue
 		}
@@ -309,7 +400,7 @@ func (e *Engine) deliverDue(step int) {
 			e.trace.recordDelivery(d.env.Round, d.sender, d.receiver, step)
 		}
 	}
-	delete(e.due, step)
+	e.due[slot] = truncatePending(e.due[slot])
 }
 
 // step runs the end-of-round for every live process and schedules the
@@ -375,7 +466,7 @@ func (e *Engine) step(step int) {
 				panic(fmt.Sprintf("sim: policy returned negative delay %d", d))
 			}
 			at := round + d
-			e.due[at] = append(e.due[at], pendingDelivery{receiver: r, sender: o.sender, env: o.env})
+			e.schedule(at, pendingDelivery{receiver: r, sender: o.sender, env: o.env})
 		}
 	}
 	if e.trace != nil {

@@ -293,6 +293,12 @@ func (n *Node) buildSpec(id string, proposals []Value, opts []Option) (InstanceS
 	if err := o.apply(opts); err != nil {
 		return InstanceSpec{}, err
 	}
+	return o.spec(id, proposals)
+}
+
+// spec validates a resolved option set and turns it into a validated
+// instance spec (shared by Node sessions and RunBatch).
+func (o *options) spec(id string, proposals []Value) (InstanceSpec, error) {
 	if err := o.validate(); err != nil {
 		return InstanceSpec{}, err
 	}

@@ -18,6 +18,7 @@ type options struct {
 	interval     time.Duration
 	timeout      time.Duration
 	maxRounds    int
+	parallelism  int
 }
 
 // Option configures a Node session (NewNode) or one instance
@@ -167,6 +168,21 @@ func WithMaxRounds(rounds int) Option {
 			return fmt.Errorf("anonconsensus: non-positive max rounds %d", rounds)
 		}
 		o.maxRounds = rounds
+		return nil
+	}
+}
+
+// WithParallelism bounds the worker pool RunBatch fans instances across;
+// 0 (the default) means GOMAXPROCS. Results are byte-identical at any
+// setting — the knob trades wall-clock for cores, never output. It is
+// batch-level: RunBatch rejects it inside a BatchItem's Opts, and Node
+// sessions, which serialize instances by design, ignore it.
+func WithParallelism(workers int) Option {
+	return func(o *options) error {
+		if workers < 0 {
+			return fmt.Errorf("anonconsensus: negative parallelism %d", workers)
+		}
+		o.parallelism = workers
 		return nil
 	}
 }

@@ -7,6 +7,17 @@
 //	    go run ./tools/benchjson -label "my change"
 //
 // The Makefile `bench` target wraps exactly that pipeline.
+//
+// Compare mode gates regressions instead of appending:
+//
+//	benchjson -compare old.json new.json -threshold 20
+//
+// compares the last recorded run of each trajectory file benchmark by
+// benchmark and exits nonzero when any ns/op regressed by more than the
+// threshold percentage (default 20). The Makefile `bench-smoke` target
+// wires it against BENCH_consensus.json so the trajectory cannot silently
+// regress; pick the threshold with the noise of the comparison machine in
+// mind.
 package main
 
 import (
@@ -51,6 +62,9 @@ type File struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	label := flag.String("label", "", "label for this run (required)")
 	out := flag.String("out", "BENCH_consensus.json", "trajectory file to append to")
 	flag.Parse()
@@ -124,4 +138,110 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: appended %d results to %s (run %q)\n", len(run.Results), *out, *label)
+}
+
+// runCompare implements `-compare old.json new.json [-threshold pct]`. It
+// reads the last run of each trajectory file and reports, benchmark by
+// benchmark, the ns/op delta; any regression beyond the threshold makes
+// the exit status nonzero. Benchmarks present on only one side are
+// warned about, never failed on, so suites can grow.
+func runCompare(args []string) int {
+	threshold := 20.0
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-threshold" || a == "--threshold":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -threshold needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad threshold %q\n", args[i])
+				return 2
+			}
+			threshold = v
+		case strings.HasPrefix(a, "-threshold="):
+			v, err := strconv.ParseFloat(strings.TrimPrefix(a, "-threshold="), 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad threshold %q\n", a)
+				return 2
+			}
+			threshold = v
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "benchjson: unknown compare flag %q\n", a)
+			return 2
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-threshold pct]")
+		return 2
+	}
+	oldRun, err := lastRun(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRun, err := lastRun(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldBy := make(map[string]BenchResult, len(oldRun.Results))
+	for _, r := range oldRun.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("comparing %q (old: %s) vs %q (new: %s), threshold %.0f%%\n",
+		oldRun.Label, files[0], newRun.Label, files[1], threshold)
+	regressions := 0
+	seen := make(map[string]bool, len(newRun.Results))
+	for _, nr := range newRun.Results {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("  %-40s NEW (%.0f ns/op, no baseline)\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		if or.NsPerOp <= 0 {
+			continue
+		}
+		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-40s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, verdict)
+	}
+	for _, or := range oldRun.Results {
+		if !seen[or.Name] {
+			fmt.Printf("  %-40s MISSING from new run (was %.0f ns/op)\n", or.Name, or.NsPerOp)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold)
+		return 1
+	}
+	fmt.Println("benchjson: no regressions beyond threshold")
+	return 0
+}
+
+// lastRun loads a trajectory file and returns its most recent run.
+func lastRun(path string) (BenchRun, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchRun{}, err
+	}
+	var file File
+	if err := json.Unmarshal(data, &file); err != nil {
+		return BenchRun{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(file.Runs) == 0 {
+		return BenchRun{}, fmt.Errorf("%s: no runs recorded", path)
+	}
+	return file.Runs[len(file.Runs)-1], nil
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTrajectory(t *testing.T, dir, name string, runs ...BenchRun) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(File{Suite: "test", Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", BenchRun{Label: "base", Results: []BenchResult{
+		{Name: "Fast", NsPerOp: 100},
+		{Name: "Slow", NsPerOp: 1000},
+	}})
+	// Within threshold: +10% is fine at 20%.
+	okNew := writeTrajectory(t, dir, "ok.json", BenchRun{Label: "next", Results: []BenchResult{
+		{Name: "Fast", NsPerOp: 110},
+		{Name: "Slow", NsPerOp: 900},
+	}})
+	if code := runCompare([]string{old, okNew, "-threshold", "20"}); code != 0 {
+		t.Errorf("within-threshold compare exited %d, want 0", code)
+	}
+	// Beyond threshold: +50% on one benchmark must fail.
+	badNew := writeTrajectory(t, dir, "bad.json", BenchRun{Label: "next", Results: []BenchResult{
+		{Name: "Fast", NsPerOp: 150},
+		{Name: "Slow", NsPerOp: 1000},
+	}})
+	if code := runCompare([]string{old, badNew, "-threshold", "20"}); code != 1 {
+		t.Errorf("regressed compare exited %d, want 1", code)
+	}
+	// A looser threshold lets the same delta through.
+	if code := runCompare([]string{old, badNew, "-threshold", "60"}); code != 0 {
+		t.Errorf("loose-threshold compare exited %d, want 0", code)
+	}
+}
+
+func TestCompareOnlyLastRunCounts(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json",
+		BenchRun{Label: "ancient", Results: []BenchResult{{Name: "X", NsPerOp: 1}}},
+		BenchRun{Label: "base", Results: []BenchResult{{Name: "X", NsPerOp: 100}}},
+	)
+	next := writeTrajectory(t, dir, "new.json", BenchRun{Label: "next", Results: []BenchResult{{Name: "X", NsPerOp: 105}}})
+	if code := runCompare([]string{old, next, "-threshold", "20"}); code != 0 {
+		t.Errorf("compare against last run exited %d, want 0 (must not use the ancient run)", code)
+	}
+}
+
+func TestCompareNewAndMissingBenchmarksAreNotFailures(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", BenchRun{Label: "base", Results: []BenchResult{
+		{Name: "Gone", NsPerOp: 50},
+		{Name: "Kept", NsPerOp: 100},
+	}})
+	next := writeTrajectory(t, dir, "new.json", BenchRun{Label: "next", Results: []BenchResult{
+		{Name: "Kept", NsPerOp: 100},
+		{Name: "Added", NsPerOp: 9999},
+	}})
+	if code := runCompare([]string{old, next}); code != 0 {
+		t.Errorf("grown/shrunk suite exited %d, want 0", code)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrajectory(t, dir, "old.json", BenchRun{Label: "base", Results: []BenchResult{{Name: "X", NsPerOp: 1}}})
+	cases := [][]string{
+		{},                       // no files
+		{old},                    // one file
+		{old, old, "-threshold"}, // dangling flag
+		{old, old, "-threshold", "x"},
+		{old, old, "-bogus"},
+		{old, filepath.Join(dir, "absent.json")},
+	}
+	for _, args := range cases {
+		if code := runCompare(args); code != 2 {
+			t.Errorf("runCompare(%v) exited %d, want usage error 2", args, code)
+		}
+	}
+	empty := writeTrajectory(t, dir, "empty.json")
+	if code := runCompare([]string{old, empty}); code != 2 {
+		t.Error("empty trajectory accepted")
+	}
+}

@@ -38,25 +38,32 @@ func (t *simTransport) Run(ctx context.Context, spec InstanceSpec) (*Result, err
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	res, err := sim.RunContext(ctx, simConfig(spec))
+	if err != nil {
+		return nil, err
+	}
+	return simResult(res), nil
+}
+
+// simConfig translates a validated spec into the simulator configuration
+// the sim transport runs: the policy (and automata) it builds belong to
+// this one run.
+func simConfig(spec InstanceSpec) sim.Config {
 	var policy sim.Policy
 	if spec.Env == EnvESS {
 		policy = &sim.ESS{GST: spec.GST, StableSource: spec.StableSource, Pre: sim.MS{Seed: spec.Seed}}
 	} else {
 		policy = &sim.ES{GST: spec.GST, Pre: sim.MS{Seed: spec.Seed}}
 	}
-	opts := core.RunOpts{Ctx: ctx, Policy: policy, Crashes: spec.Crashes, MaxRounds: spec.MaxRounds}
-	var (
-		res *sim.Result
-		err error
-	)
+	opts := core.RunOpts{Policy: policy, Crashes: spec.Crashes, MaxRounds: spec.MaxRounds}
 	if spec.Env == EnvESS {
-		res, err = core.RunESS(toValues(spec.Proposals), opts)
-	} else {
-		res, err = core.RunES(toValues(spec.Proposals), opts)
+		return core.ConfigESS(toValues(spec.Proposals), opts)
 	}
-	if err != nil {
-		return nil, err
-	}
+	return core.ConfigES(toValues(spec.Proposals), opts)
+}
+
+// simResult converts a simulator result into the public form.
+func simResult(res *sim.Result) *Result {
 	out := &Result{Rounds: res.Rounds}
 	for i, st := range res.Statuses {
 		out.Decisions = append(out.Decisions, Decision{
@@ -67,5 +74,5 @@ func (t *simTransport) Run(ctx context.Context, spec InstanceSpec) (*Result, err
 			Crashed: st.Crashed,
 		})
 	}
-	return out, nil
+	return out
 }
