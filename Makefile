@@ -17,7 +17,7 @@ FUZZTIME  ?= 10s
 # BENCH_THRESHOLD=30) when measuring on quiet, comparable hardware.
 BENCH_THRESHOLD ?= 100
 
-.PHONY: test race build vet bench bench-smoke fuzz-smoke
+.PHONY: test race build vet bench bench-smoke fuzz-smoke scenarios-smoke
 
 build:
 	$(GO) build ./...
@@ -59,3 +59,10 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDeltaEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME) ./internal/env
+
+# scenarios-smoke renders the S1 scenario sweep on the shrunken grid: a
+# fast end-to-end pass over the fault plane (loss, duplication, partitions,
+# random adversary) that CI runs on every push.
+scenarios-smoke:
+	$(GO) run ./cmd/anonsim -exp S1 -quick

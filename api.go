@@ -162,7 +162,7 @@ func (c *Config) session() options {
 		gst:          c.GST,
 		stableSource: c.StableSource,
 		seed:         c.Seed,
-		crashes:      c.Crashes,
+		scenario:     Scenario{Crashes: c.Crashes},
 		interval:     c.Interval,
 		timeout:      c.Timeout,
 		maxRounds:    c.MaxRounds,

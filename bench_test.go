@@ -9,6 +9,7 @@ import (
 
 	"anonconsensus"
 	"anonconsensus/internal/core"
+	"anonconsensus/internal/env"
 	"anonconsensus/internal/expt"
 	"anonconsensus/internal/giraf"
 	"anonconsensus/internal/msemu"
@@ -50,6 +51,7 @@ func BenchmarkT10Sigma(b *testing.B)              { benchExperiment(b, "T10") }
 func BenchmarkF1LatencyDistribution(b *testing.B) { benchExperiment(b, "F1") }
 func BenchmarkF2LeaderTimeline(b *testing.B)      { benchExperiment(b, "F2") }
 func BenchmarkF3MSNoConsensus(b *testing.B)       { benchExperiment(b, "F3") }
+func BenchmarkS1ScenarioSweep(b *testing.B)       { benchExperiment(b, "S1") }
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the primitives the tables are built from.
@@ -67,6 +69,34 @@ func BenchmarkESConsensusRound(b *testing.B) {
 				if !res.AllCorrectDecided() {
 					b.Fatal("undecided")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkESConsensusLossy is the BenchmarkESConsensusRound workload with
+// the scenario plane's link faults dialed in (10% loss, 10% duplication):
+// it measures what the per-delivery fault draws and the extra duplicate
+// deliveries cost on the hot path. Termination is not asserted — loss
+// deliberately voids the guarantee; the run bound caps the work instead.
+func BenchmarkESConsensusLossy(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			props := core.DistinctProposals(n)
+			b.ReportAllocs()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunES(props, core.RunOpts{
+					Policy:   &sim.ES{GST: 6, Pre: sim.MS{Seed: int64(i)}},
+					Scenario: &env.Scenario{Seed: int64(i), LossPct: 10, DupPct: 10},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += res.Rounds
+			}
+			if rounds == 0 {
+				b.Fatal("no rounds executed")
 			}
 		})
 	}

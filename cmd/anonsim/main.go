@@ -1,11 +1,12 @@
 // Command anonsim regenerates the reproduction experiments (EXPERIMENTS.md
-// tables T1–T10 and figures F1–F3) from scratch, and demos the public Node
-// API on the deterministic backend.
+// tables T1–T10, figures F1–F3, and the S1 scenario sweep) from scratch,
+// and demos the public Node API on the deterministic backend.
 //
 // Usage:
 //
 //	anonsim -list            list experiments
 //	anonsim -exp T3          run one experiment
+//	anonsim -exp S1          scenario sweep: loss/duplication/partition grid
 //	anonsim -all             run the whole suite
 //	anonsim -all -quick      shrunken grids (seconds instead of minutes)
 //	anonsim -all -parallel 4 fan trials across 4 workers (same bytes out)

@@ -19,8 +19,30 @@
 // streams outcomes instance by instance as each run completes (one event
 // per deciding process), Wait collects a single instance's Result, and
 // every run is cancellable through its context.Context. Options (WithEnv, WithGST, WithSeed, WithCrashes,
-// WithStableSource, WithInterval, WithTimeout, WithMaxRounds) set session
-// defaults and can be overridden per instance.
+// WithStableSource, WithInterval, WithTimeout, WithMaxRounds, and the
+// scenario plane below) set session defaults and can be overridden per
+// instance.
+//
+// # Fault scenarios
+//
+// Beyond the synchrony environment, every run can carry a composable fault
+// Scenario: a validated crash schedule, per-link message loss and
+// duplication rates, and round-ranged partitions that split the ring until
+// they heal. WithScenario sets the whole overlay; WithLoss,
+// WithDuplication, WithPartition and WithCrashes dial individual
+// dimensions; RandomScenario derives a reproducible seeded adversary.
+// Fault draws are deterministic hash functions of the run seed: on the
+// deterministic simulator a scenario'd spec replays exactly and RunBatch
+// sweeps stay byte-identical at any parallelism; the live in-process
+// backend makes the same per-(round, link) decisions in real time; the
+// TCP hub — which never learns rounds or process indexes — realizes the
+// scenario physically (wall-clock rounds, accept-order connection
+// indexes, per-forward draws), so TCP fault patterns are reproducible in
+// distribution, not byte-for-byte. Loss and partitions deliberately
+// break the model's reliable-broadcast assumption — exploring how the
+// algorithms degrade (split-brain blocks under a never-healing partition,
+// falling agreement rates under loss) is what the plane is for; see the
+// README scenario cookbook and experiment S1.
 //
 // Three transports realize the paper's environments on different
 // substrates behind the one interface:
@@ -62,8 +84,14 @@
 // consensus.
 //
 // The algorithm internals live under internal/: see internal/core for
-// Algorithms 2 and 3 (including the pseudo leader election), internal/sim
-// for the environment model, internal/weakset, internal/register,
-// internal/msemu and internal/fd for the substrate results, and DESIGN.md
-// for the full inventory.
+// Algorithms 2 and 3 (including the pseudo leader election), internal/env
+// for the unified environment/adversary model (round-delay policies,
+// wall-clock latency profiles and fault scenarios — one model shared by
+// all backends), internal/weakset, internal/register, internal/msemu and
+// internal/fd for the substrate results, and DESIGN.md for the full
+// inventory. Constructing environments through the internal/sim and
+// internal/anonnet names (sim.Policy implementations, anonnet latency
+// profiles) is deprecated: those are compatibility aliases over
+// internal/env, which is where new environments and fault dimensions are
+// added.
 package anonconsensus

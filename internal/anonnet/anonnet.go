@@ -14,18 +14,19 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"anonconsensus/internal/env"
 	"anonconsensus/internal/giraf"
 	"anonconsensus/internal/values"
 )
 
 // LatencyModel assigns each (round, sender, receiver) link a delay.
 // Implementations must be safe for concurrent use; the provided profiles
-// are stateless hash-based so they need no locks.
-type LatencyModel interface {
-	Delay(round, from, to int) time.Duration
-}
+// are stateless hash-based so they need no locks. It is an alias for
+// env.LatencyModel — the model is shared with the other backends.
+type LatencyModel = env.LatencyModel
 
 // Config describes a live run.
 type Config struct {
@@ -43,6 +44,14 @@ type Config struct {
 	// CrashAfterRounds stops process i after it executed that many
 	// end-of-rounds (simulated crash). Zero/absent means never.
 	CrashAfterRounds map[int]int
+	// Scenario, when non-nil, overlays link faults on the broadcast fan-out:
+	// envelopes whose (round, sender, receiver) the scenario drops — loss
+	// draw or active partition — are never queued, and duplicated ones are
+	// queued twice (the copy half an interval later), exercising inbox
+	// deduplication. The scenario's crash schedule is honored in addition
+	// to CrashAfterRounds. Fault decisions are deterministic in the
+	// scenario seed, the same decisions the lockstep simulator makes.
+	Scenario *env.Scenario
 	// OnRound, if non-nil, runs in process i's own goroutine immediately
 	// before each end-of-round, with the automaton it is about to step.
 	// Drivers use it to inject operations (e.g. weak-set adds) or sample
@@ -63,6 +72,9 @@ func (c *Config) validate() error {
 	case c.Timeout <= 0:
 		return fmt.Errorf("anonnet: Timeout = %v", c.Timeout)
 	}
+	if err := c.Scenario.Validate(c.N); err != nil {
+		return fmt.Errorf("anonnet: %w", err)
+	}
 	return nil
 }
 
@@ -82,6 +94,11 @@ type ProcResult struct {
 type Result struct {
 	Procs   []ProcResult
 	Elapsed time.Duration
+	// Dropped counts deliveries lost to the scenario's loss rate or an
+	// active partition; Duplicated counts the extra deliveries its
+	// duplication rate injected. Both are 0 without a scenario.
+	Dropped    int
+	Duplicated int
 }
 
 // AllCorrectDecided reports whether every non-crashed process decided.
@@ -118,6 +135,9 @@ type network struct {
 	// bounding the run at O(n²) delivery goroutines total (previously one
 	// goroutine per envelope per link: O(rounds·n²)).
 	links []*linkQueue
+
+	dropped    atomic.Int64
+	duplicated atomic.Int64
 }
 
 // Run executes the live network until every process decided, crashed, the
@@ -178,7 +198,12 @@ func Run(parent context.Context, cfg Config) (*Result, error) {
 	if err := parent.Err(); err != nil {
 		return nil, fmt.Errorf("anonnet: run cancelled: %w", err)
 	}
-	return &Result{Procs: results, Elapsed: time.Since(start)}, nil
+	return &Result{
+		Procs:      results,
+		Elapsed:    time.Since(start),
+		Dropped:    int(nw.dropped.Load()),
+		Duplicated: int(nw.duplicated.Load()),
+	}, nil
 }
 
 // runProcess is one process's event loop.
@@ -186,6 +211,9 @@ func (nw *network) runProcess(id int) ProcResult {
 	aut := nw.cfg.Automaton(id)
 	proc := giraf.NewProc(aut)
 	crashAfter := nw.cfg.CrashAfterRounds[id]
+	if sc, ok := nw.cfg.Scenario.CrashRound(id); ok && (crashAfter == 0 || sc < crashAfter) {
+		crashAfter = sc
+	}
 	ticker := time.NewTicker(nw.cfg.Interval)
 	defer ticker.Stop()
 
@@ -225,15 +253,26 @@ func (nw *network) runProcess(id int) ProcResult {
 
 // broadcast fans the envelope out to every peer with per-link delays.
 // Envelopes share one payload snapshot (giraf caches the round view), so
-// fan-out costs one queue entry per link, not a payload copy.
-func (nw *network) broadcast(from int, env giraf.Envelope) {
+// fan-out costs one queue entry per link, not a payload copy. Scenario
+// faults act here, at the fan-out: a dropped delivery is never queued and
+// a duplicated one is queued twice.
+func (nw *network) broadcast(from int, envl giraf.Envelope) {
 	now := time.Now()
+	sc := nw.cfg.Scenario
 	for to := 0; to < nw.cfg.N; to++ {
 		if to == from {
 			continue
 		}
-		delay := nw.cfg.Latency.Delay(env.Round, from, to)
-		nw.link(from, to).push(now.Add(delay), env)
+		if sc != nil && sc.Drops(envl.Round, from, to) {
+			nw.dropped.Add(1)
+			continue
+		}
+		delay := nw.cfg.Latency.Delay(envl.Round, from, to)
+		nw.link(from, to).push(now.Add(delay), envl)
+		if sc != nil && sc.Duplicates(envl.Round, from, to) {
+			nw.duplicated.Add(1)
+			nw.link(from, to).push(now.Add(delay+nw.cfg.Interval/2), envl)
+		}
 	}
 }
 

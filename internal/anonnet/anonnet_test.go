@@ -173,13 +173,14 @@ func TestLiveConfigValidation(t *testing.T) {
 
 func TestProfilesDeterministic(t *testing.T) {
 	p := MSProfile{N: 4, Interval: time.Millisecond, Seed: 9}
+	src := 3 % p.N // round-robin source of round 3 (Period defaults to 1)
 	if p.Delay(3, 1, 2) != p.Delay(3, 1, 2) {
 		t.Error("profile must be deterministic")
 	}
-	if p.Delay(3, p.source(3), 2) >= p.Interval {
+	if p.Delay(3, src, 2) >= p.Interval {
 		t.Error("source link must be fast")
 	}
-	if p.Delay(3, (p.source(3)+1)%4, 2) < p.Interval {
+	if p.Delay(3, (src+1)%4, 2) < p.Interval {
 		t.Error("non-source link must be slow")
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"anonconsensus/internal/env"
 	"anonconsensus/internal/giraf"
 	"anonconsensus/internal/sim"
 	"anonconsensus/internal/values"
@@ -19,6 +20,9 @@ type RunOpts struct {
 	Ctx context.Context
 	// Crashes is the sim crash schedule (may be nil).
 	Crashes map[int]int
+	// Scenario overlays composable faults (loss, duplication, partitions,
+	// extra crashes) on the run; nil means fault-free.
+	Scenario *env.Scenario
 	// MaxRounds bounds the run; 0 defaults to 10·n + 200.
 	MaxRounds int
 	// RecordTrace forwards sim.Config.RecordTrace.
@@ -48,6 +52,7 @@ func (o RunOpts) config(n int, aut func(i int) giraf.Automaton) sim.Config {
 		Automaton:   aut,
 		Policy:      o.Policy,
 		Crashes:     o.Crashes,
+		Scenario:    o.Scenario,
 		MaxRounds:   o.maxRounds(n),
 		RecordTrace: o.RecordTrace,
 		OnRound:     o.OnRound,

@@ -1,0 +1,42 @@
+package env
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenario fuzzes the scenario text form: any input that parses must
+// survive an encode/parse round trip unchanged (canonical form is a fixed
+// point), stay structurally valid, and keep its fault predicates callable.
+func FuzzScenario(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42")
+	f.Add("loss=10,dup=5")
+	f.Add("seed=-3,loss=100,part=1:0:2,crash=0@1")
+	f.Add("part=2:9:1,part=3:0:4,crash=7@15,crash=2@3")
+	f.Add("loss=0,dup=0")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseScenario(text)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if verr := s.Validate(0); verr != nil {
+			t.Fatalf("ParseScenario(%q) returned a structurally invalid scenario: %v", text, verr)
+		}
+		enc := s.Encode()
+		back, err := ParseScenario(enc)
+		if err != nil {
+			t.Fatalf("re-parse of canonical form %q (from %q): %v", enc, text, err)
+		}
+		if got := back.Encode(); got != enc {
+			t.Fatalf("canonical form is not a fixed point: %q → %q (input %q)", enc, got, text)
+		}
+		if !reflect.DeepEqual(normalize(s), normalize(back)) {
+			t.Fatalf("round trip of %q changed the scenario: %+v vs %+v", text, s, back)
+		}
+		// Predicates must be total on whatever parsed.
+		_ = s.Drops(1, 0, 1)
+		_ = s.Duplicates(1, 0, 1)
+		_ = s.Partitioned(1, 0, 1)
+	})
+}

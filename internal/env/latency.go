@@ -1,0 +1,135 @@
+package env
+
+import (
+	"time"
+)
+
+// LatencyModel assigns each (round, sender, receiver) link a wall-clock
+// delay: the real-time realization of an environment, used by the runtimes
+// whose rounds are driven by local timers (anonnet, tcpnet) instead of a
+// lockstep scheduler. Implementations must be safe for concurrent use; the
+// provided profiles are stateless hash-based so they need no locks.
+type LatencyModel interface {
+	Delay(round, from, to int) time.Duration
+}
+
+// hash64 is a small deterministic mixer so profiles can draw per-link
+// jitter without shared state (FNV-1a over the tuple).
+func hash64(seed int64, round, from, to int) uint64 {
+	h := uint64(1469598103934665603) ^ uint64(seed)
+	for _, x := range [3]int{round, from, to} {
+		h ^= uint64(uint32(x))
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// frac scales d by num/den.
+func frac(d time.Duration, num, den int64) time.Duration {
+	return time.Duration(int64(d) * num / den)
+}
+
+// Sync delivers everything in a fifth of the round interval: every link is
+// timely, every process a source.
+type Sync struct {
+	Interval time.Duration
+}
+
+var _ LatencyModel = Sync{}
+
+// Delay implements LatencyModel.
+func (p Sync) Delay(round, from, to int) time.Duration {
+	return frac(p.Interval, 1, 5)
+}
+
+// MSProfile realizes the moving-source environment in real time: the
+// round-robin source's links run at Interval/5 while every other link
+// takes 1.5–3.5 round intervals (reliable but late).
+type MSProfile struct {
+	N        int
+	Interval time.Duration
+	Seed     int64
+	// Period keeps the source for this many rounds; 0 defaults to 1.
+	Period int
+}
+
+var _ LatencyModel = MSProfile{}
+
+func (p MSProfile) source(round int) int {
+	period := p.Period
+	if period <= 0 {
+		period = 1
+	}
+	return (round / period) % p.N
+}
+
+// Delay implements LatencyModel.
+func (p MSProfile) Delay(round, from, to int) time.Duration {
+	if from == p.source(round) {
+		return frac(p.Interval, 1, 5)
+	}
+	jitter := hash64(p.Seed, round, from, to) % 2000
+	return frac(p.Interval, 3, 2) + frac(p.Interval, int64(jitter), 1000)
+}
+
+// AsyncProfile provides no timeliness at all: every link of every round
+// takes 1–3 round intervals. No process is ever a source, so not even MS
+// holds — use it for safety-only demonstrations.
+type AsyncProfile struct {
+	Interval time.Duration
+	Seed     int64
+}
+
+var _ LatencyModel = AsyncProfile{}
+
+// Delay implements LatencyModel.
+func (p AsyncProfile) Delay(round, from, to int) time.Duration {
+	jitter := hash64(p.Seed, round, from, to) % 2000
+	return p.Interval + frac(p.Interval, int64(jitter), 1000)
+}
+
+// ESProfile is eventually synchronous: MS chaos before round GST, all-fast
+// afterwards.
+type ESProfile struct {
+	N        int
+	Interval time.Duration
+	Seed     int64
+	GST      int
+}
+
+var _ LatencyModel = ESProfile{}
+
+// Delay implements LatencyModel.
+func (p ESProfile) Delay(round, from, to int) time.Duration {
+	if round >= p.GST {
+		return frac(p.Interval, 1, 5)
+	}
+	return MSProfile{N: p.N, Interval: p.Interval, Seed: p.Seed}.Delay(round, from, to)
+}
+
+// ESSProfile has an eventually stable source: MS chaos before round GST;
+// afterwards Source's links are fast and everyone else's stay slow forever.
+type ESSProfile struct {
+	N        int
+	Interval time.Duration
+	Seed     int64
+	GST      int
+	Source   int
+}
+
+var _ LatencyModel = ESSProfile{}
+
+// Delay implements LatencyModel.
+func (p ESSProfile) Delay(round, from, to int) time.Duration {
+	if round < p.GST {
+		return MSProfile{N: p.N, Interval: p.Interval, Seed: p.Seed}.Delay(round, from, to)
+	}
+	if from == p.Source {
+		return frac(p.Interval, 1, 5)
+	}
+	jitter := hash64(p.Seed+1, round, from, to) % 2000
+	return frac(p.Interval, 3, 2) + frac(p.Interval, int64(jitter), 1000)
+}

@@ -9,17 +9,19 @@
 // arrives d rounds late — still reliably, just not on time.
 //
 // The three environments of the paper (MS, ES, ESS) plus fully synchronous,
-// fully asynchronous and adversarial policies are provided in policy.go. A
-// recorded Trace can be validated against the formal environment
-// definitions by the checkers in checker.go, so tests never have to trust a
-// policy's self-description.
+// fully asynchronous and adversarial policies live in internal/env and are
+// re-exported here as aliases (policy.go). Composable fault scenarios —
+// loss, duplication, round-ranged partitions, crash schedules — come from
+// the same package via Config.Scenario. A recorded Trace can be validated
+// against the formal environment definitions by the checkers in checker.go,
+// so tests never have to trust a policy's self-description.
 package sim
 
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
+	"anonconsensus/internal/env"
 	"anonconsensus/internal/giraf"
 	"anonconsensus/internal/values"
 )
@@ -38,6 +40,14 @@ type Config struct {
 	// the process does not execute its end-of-round at that step or later.
 	// Crash step 0 means the process never even initializes.
 	Crashes map[int]int
+	// Scenario, when non-nil, overlays composable faults on the run: its
+	// crash schedule is honored in addition to Crashes, and its loss,
+	// duplication and partition dimensions are applied at delivery time
+	// (lost envelopes never reach the receiver; duplicated ones are
+	// delivered again one step later, exercising inbox deduplication). A
+	// nil or empty Scenario leaves the run byte-identical to the
+	// pre-scenario engine.
+	Scenario *env.Scenario
 	// MaxRounds bounds the run; the engine stops after this many global
 	// steps even if processes are still undecided.
 	MaxRounds int
@@ -74,6 +84,9 @@ func (c *Config) validate() error {
 			return fmt.Errorf("sim: crash step %d for process %d is negative", step, pid)
 		}
 	}
+	if err := c.Scenario.Validate(c.N); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
 }
 
@@ -104,6 +117,12 @@ type Metrics struct {
 	PayloadBytes int
 	// MaxEnvelopeBytes is the largest single envelope.
 	MaxEnvelopeBytes int
+	// Dropped is the number of deliveries lost to the scenario's loss rate
+	// or an active partition (0 without a scenario).
+	Dropped int
+	// Duplicated is the number of extra deliveries injected by the
+	// scenario's duplication rate (0 without a scenario).
+	Duplicated int
 }
 
 // Result is the outcome of Run.
@@ -312,9 +331,19 @@ func (e *Engine) Automaton(i int) giraf.Automaton { return e.auts[i] }
 // N returns the number of processes.
 func (e *Engine) N() int { return e.cfg.N }
 
+// crashStep returns the earliest scheduled crash step for pid across
+// Config.Crashes and the scenario's crash schedule, or ok=false.
+func (e *Engine) crashStep(pid int) (int, bool) {
+	cs, ok := e.cfg.Crashes[pid]
+	if ss, sok := e.cfg.Scenario.CrashRound(pid); sok && (!ok || ss < cs) {
+		cs, ok = ss, true
+	}
+	return cs, ok
+}
+
 // crashedAt reports whether pid is crashed at step.
 func (e *Engine) crashedAt(pid, step int) bool {
-	cs, ok := e.cfg.Crashes[pid]
+	cs, ok := e.crashStep(pid)
 	return ok && step >= cs
 }
 
@@ -366,7 +395,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 			st.Decided = true
 			st.Decision = d.Value
 		}
-		if cs, ok := e.cfg.Crashes[i]; ok && cs <= rounds {
+		if cs, ok := e.crashStep(i); ok && cs <= rounds {
 			st.Crashed = true
 			st.CrashedAt = cs
 		}
@@ -392,6 +421,12 @@ func (e *Engine) deliverDue(step int) {
 	slot := step % len(e.due)
 	for _, d := range e.due[slot] {
 		if e.crashedAt(d.receiver, step) {
+			continue
+		}
+		// Scenario loss and partitions act at delivery time: the envelope
+		// was broadcast and scheduled, it just never arrives.
+		if sc := e.cfg.Scenario; sc != nil && sc.Drops(d.env.Round, d.sender, d.receiver) {
+			e.metrics.Dropped++
 			continue
 		}
 		e.procs[d.receiver].Receive(d.env)
@@ -467,6 +502,16 @@ func (e *Engine) step(step int) {
 			}
 			at := round + d
 			e.schedule(at, pendingDelivery{receiver: r, sender: o.sender, env: o.env})
+			// Scenario duplication: the same envelope is delivered a second
+			// time one step later, so the receiver's inbox dedup is
+			// exercised by a genuinely late duplicate. A delivery the
+			// scenario also drops stays dropped (no point queueing copies
+			// deliverDue would discard again).
+			if sc := e.cfg.Scenario; sc != nil &&
+				sc.Duplicates(round, o.sender, r) && !sc.Drops(round, o.sender, r) {
+				e.metrics.Duplicated++
+				e.schedule(at+1, pendingDelivery{receiver: r, sender: o.sender, env: o.env})
+			}
 		}
 	}
 	if e.trace != nil {
@@ -498,15 +543,4 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return e.RunContext(ctx)
-}
-
-// rngFor derives a deterministic rand.Rand for a given policy seed and
-// stream label, so distinct policies never share streams.
-func rngFor(seed int64, stream string) *rand.Rand {
-	h := int64(1469598103934665603)
-	for _, b := range []byte(stream) {
-		h ^= int64(b)
-		h *= 1099511628211
-	}
-	return rand.New(rand.NewSource(seed ^ h))
 }

@@ -46,8 +46,13 @@ type Hub struct {
 	// Delay, if set, is applied before forwarding a frame to a connection
 	// (indexed by accept order), letting tests shape per-link timeliness.
 	delay func(connIndex int) time.Duration
-	order map[net.Conn]int
-	next  int
+	// fault, if set, decides per (sender, receiver, frame serial) whether a
+	// forward is dropped or duplicated — the hub-level realization of a
+	// fault scenario's loss and duplication dimensions.
+	fault  func(from, to, serial int) (drop, dup bool)
+	serial int
+	order  map[net.Conn]int
+	next   int
 }
 
 // HubOption configures the hub.
@@ -56,6 +61,18 @@ type HubOption func(*Hub)
 // WithForwardDelay delays every forward to the i-th accepted connection.
 func WithForwardDelay(f func(connIndex int) time.Duration) HubOption {
 	return func(h *Hub) { h.delay = f }
+}
+
+// WithForwardFault injects loss and duplication at the relay: before
+// forwarding a frame from the from-th to the to-th accepted connection
+// (serial numbers frames in arrival order), f decides whether the forward
+// is suppressed or doubled. Dropped frames stay in the hub log — a late
+// joiner still receives them in the replay, mirroring the scenario
+// semantics that loss hits deliveries, not the broadcast itself. Crash and
+// partition dimensions are the caller's concern (crashes stop nodes, and
+// the caller can realize a partition by dropping all cross-block forwards).
+func WithForwardFault(f func(from, to, serial int) (drop, dup bool)) HubOption {
+	return func(h *Hub) { h.fault = f }
 }
 
 // NewHub starts a hub listening on addr (e.g. "127.0.0.1:0"). Close stops
@@ -145,9 +162,20 @@ func (h *Hub) readLoop(conn net.Conn) {
 		var overwhelmed []net.Conn
 		h.mu.Lock()
 		h.log = append(h.log, frame)
+		h.serial++
+		serial := h.serial
+		from := h.order[conn]
 		for peer, out := range h.conns {
 			if peer == conn {
 				continue // the sender's own payload is already in its inbox
+			}
+			dup := false
+			if h.fault != nil {
+				var drop bool
+				drop, dup = h.fault(from, h.order[peer], serial)
+				if drop {
+					continue
+				}
 			}
 			select {
 			case out <- frame:
@@ -158,6 +186,16 @@ func (h *Hub) readLoop(conn net.Conn) {
 				// disconnected — in the crash-fault model it is now a
 				// crashed process, which the algorithms tolerate.
 				overwhelmed = append(overwhelmed, peer)
+				continue
+			}
+			if dup {
+				// The duplicate is fault injection, not protocol traffic:
+				// best-effort only, and never grounds for disconnecting a
+				// peer that already holds the real frame.
+				select {
+				case out <- frame:
+				default:
+				}
 			}
 		}
 		h.mu.Unlock()

@@ -2,12 +2,14 @@ package tcpnet
 
 import (
 	"context"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"anonconsensus/internal/core"
 	"anonconsensus/internal/values"
+	"anonconsensus/internal/wire"
 )
 
 // runCluster starts a hub and n concurrent nodes, returning their results.
@@ -218,5 +220,115 @@ func TestTCPNodeCrashSchedule(t *testing.T) {
 	}
 	if decided.Len() != 1 {
 		t.Fatalf("agreement violated among survivors: %v", decided)
+	}
+}
+
+// waitForConns blocks until the hub has registered n connections: Dial
+// returns at the kernel handshake, before the hub's accept loop runs, and
+// frames forwarded before registration reach late registrants only via the
+// fault-free replay path — exactly what these tests must not measure.
+func waitForConns(t *testing.T, h *Hub, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.mu.Lock()
+		got := len(h.conns)
+		h.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hub registered %d connections, want %d", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHubForwardFaultDuplication(t *testing.T) {
+	// A fault that duplicates every forward: a frame sent once arrives
+	// twice at every peer — the hub-level realization of a scenario's
+	// duplication dimension (receivers dedup by set semantics, so this is
+	// safe for the algorithms; here we assert the raw relay behavior).
+	hub, err := NewHub("127.0.0.1:0", WithForwardFault(func(from, to, serial int) (bool, bool) {
+		return false, true
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	sender, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	receiver, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer receiver.Close()
+
+	waitForConns(t, hub, 2)
+	frame := []byte("scenario-dup-frame")
+	if err := wire.WriteFrame(sender, frame); err != nil {
+		t.Fatal(err)
+	}
+	receiver.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < 2; i++ {
+		got, err := wire.ReadFrame(receiver)
+		if err != nil {
+			t.Fatalf("copy %d: %v", i+1, err)
+		}
+		if string(got) != string(frame) {
+			t.Fatalf("copy %d: got %q", i+1, got)
+		}
+	}
+}
+
+func TestHubForwardFaultLoss(t *testing.T) {
+	// A fault that drops every forward: peers receive nothing live. The
+	// frame still lands in the hub log, so a later joiner replays it —
+	// loss hits deliveries, not the broadcast itself.
+	hub, err := NewHub("127.0.0.1:0", WithForwardFault(func(from, to, serial int) (bool, bool) {
+		return true, false
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	sender, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	receiver, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer receiver.Close()
+
+	waitForConns(t, hub, 2)
+	if err := wire.WriteFrame(sender, []byte("lost-frame")); err != nil {
+		t.Fatal(err)
+	}
+	receiver.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if frame, err := wire.ReadFrame(receiver); err == nil {
+		t.Fatalf("dropped frame delivered anyway: %q", frame)
+	}
+
+	// The replay path is fault-free: a late joiner still catches up.
+	late, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	late.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := wire.ReadFrame(late)
+	if err != nil {
+		t.Fatalf("late joiner replay: %v", err)
+	}
+	if string(got) != "lost-frame" {
+		t.Fatalf("late joiner got %q", got)
 	}
 }

@@ -311,7 +311,8 @@ func (o *options) spec(id string, proposals []Value) (InstanceSpec, error) {
 		GST:          o.gst,
 		StableSource: o.stableSource,
 		Seed:         o.seed,
-		Crashes:      o.crashes,
+		Crashes:      o.scenario.Crashes,
+		Scenario:     o.scenario,
 		Interval:     o.interval,
 		Timeout:      o.timeout,
 		MaxRounds:    o.maxRounds,

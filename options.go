@@ -14,7 +14,7 @@ type options struct {
 	gst          int
 	stableSource int
 	seed         int64
-	crashes      map[int]int
+	scenario     Scenario
 	interval     time.Duration
 	timeout      time.Duration
 	maxRounds    int
@@ -28,12 +28,7 @@ type Option func(*options) error
 // clone deep-copies o so per-instance overrides never mutate the session.
 func (o options) clone() options {
 	out := o
-	if o.crashes != nil {
-		out.crashes = make(map[int]int, len(o.crashes))
-		for pid, r := range o.crashes {
-			out.crashes[pid] = r
-		}
-	}
+	out.scenario = o.scenario.clone()
 	return out
 }
 
@@ -61,7 +56,7 @@ func (o *options) validate() error {
 		return fmt.Errorf("anonconsensus: unknown environment %d", int(o.env))
 	}
 	if o.resolvedEnv() == EnvESS {
-		if _, crashed := o.crashes[o.stableSource]; crashed {
+		if _, crashed := o.scenario.Crashes[o.stableSource]; crashed {
 			return fmt.Errorf("anonconsensus: the stable source must stay correct")
 		}
 	}
@@ -120,19 +115,95 @@ func WithStableSource(proc int) Option {
 }
 
 // WithCrashes schedules crashes: process index to the round (≥ 1) at
-// which it stops. The map is copied. Round 0 is rejected because the
-// backends disagree on its meaning (the simulator reads it as
-// "never initialized", the real-time transports as "never crashes");
-// requiring ≥ 1 keeps one spec portable across every Transport.
+// which it stops. It is a thin wrapper over the scenario plane — it sets
+// Scenario.Crashes and composes with WithScenario's other dimensions
+// (apply WithCrashes after WithScenario to override its crash schedule).
+//
+// Validation is eager: process indexes must be ≥ 0 and rounds ≥ 1, checked
+// here; that every index fits the ensemble — and that at least one process
+// survives (see ErrAllCrashed) — is checked when the instance spec is
+// built, before anything runs. Round 0 is rejected because the backends
+// disagree on its meaning (the simulator reads it as "never initialized",
+// the real-time transports as "never crashes"); requiring ≥ 1 keeps one
+// spec portable across every Transport. The map is copied.
 func WithCrashes(crashes map[int]int) Option {
 	return func(o *options) error {
-		o.crashes = make(map[int]int, len(crashes))
+		o.scenario.Crashes = make(map[int]int, len(crashes))
 		for pid, round := range crashes {
+			if pid < 0 {
+				return fmt.Errorf("anonconsensus: crash schedule names negative process %d", pid)
+			}
 			if round < 1 {
 				return fmt.Errorf("anonconsensus: crash round %d for process %d (must be ≥ 1)", round, pid)
 			}
-			o.crashes[pid] = round
+			o.scenario.Crashes[pid] = round
 		}
+		return nil
+	}
+}
+
+// WithScenario sets the whole fault scenario — crash schedule, loss and
+// duplication rates, partitions — replacing any previously configured
+// scenario dimensions (including a WithCrashes schedule when s.Crashes is
+// non-nil; a nil s.Crashes leaves crashes to WithCrashes). The scenario's
+// hash-based fault draws are seeded by WithSeed, so identical specs
+// produce identical fault schedules on every backend. The scenario is
+// copied; n-independent structure is validated eagerly.
+func WithScenario(s Scenario) Option {
+	return func(o *options) error {
+		if err := s.validate(); err != nil {
+			return err
+		}
+		c := s.clone()
+		if c.Crashes == nil {
+			c.Crashes = o.scenario.Crashes
+		}
+		o.scenario = c
+		return nil
+	}
+}
+
+// WithLoss sets the scenario's link-loss percentage (0–100): that fraction
+// of deliveries, drawn deterministically from the run seed per (round,
+// sender, receiver), never arrives. Loss deliberately breaks the model's
+// reliable-broadcast assumption.
+func WithLoss(pct int) Option {
+	return func(o *options) error {
+		if pct < 0 || pct > 100 {
+			return fmt.Errorf("anonconsensus: loss percentage %d outside [0,100]", pct)
+		}
+		o.scenario.LossPct = pct
+		return nil
+	}
+}
+
+// WithDuplication sets the scenario's link-duplication percentage (0–100):
+// that fraction of deliveries arrives twice, exercising the framework's
+// set-semantics deduplication.
+func WithDuplication(pct int) Option {
+	return func(o *options) error {
+		if pct < 0 || pct > 100 {
+			return fmt.Errorf("anonconsensus: duplication percentage %d outside [0,100]", pct)
+		}
+		o.scenario.DupPct = pct
+		return nil
+	}
+}
+
+// WithPartition appends a round-ranged partition to the scenario: for
+// rounds in [from, until) the ring is split at cut into [0,cut) and
+// [cut,n), and messages do not cross. until = 0 means the partition never
+// heals. Partitions compose with each other and with WithLoss /
+// WithDuplication / WithCrashes.
+func WithPartition(from, until, cut int) Option {
+	return func(o *options) error {
+		p := Partition{From: from, Until: until, Cut: cut}
+		s := o.scenario
+		s.Partitions = append(append([]Partition(nil), s.Partitions...), p)
+		if err := s.validate(); err != nil {
+			return err
+		}
+		o.scenario = s
 		return nil
 	}
 }

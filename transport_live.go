@@ -52,6 +52,7 @@ func (t *liveTransport) Run(ctx context.Context, spec InstanceSpec) (*Result, er
 		Latency:          latency,
 		Timeout:          spec.timeout(),
 		CrashAfterRounds: spec.Crashes,
+		Scenario:         spec.linkFaults(),
 	})
 	if err != nil {
 		return nil, err

@@ -55,7 +55,12 @@ func simConfig(spec InstanceSpec) sim.Config {
 	} else {
 		policy = &sim.ES{GST: spec.GST, Pre: sim.MS{Seed: spec.Seed}}
 	}
-	opts := core.RunOpts{Policy: policy, Crashes: spec.Crashes, MaxRounds: spec.MaxRounds}
+	opts := core.RunOpts{
+		Policy:    policy,
+		Crashes:   spec.Crashes,
+		Scenario:  spec.linkFaults(),
+		MaxRounds: spec.MaxRounds,
+	}
 	if spec.Env == EnvESS {
 		return core.ConfigESS(toValues(spec.Proposals), opts)
 	}

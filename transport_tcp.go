@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anonconsensus/internal/env"
 	"anonconsensus/internal/tcpnet"
 )
 
@@ -72,7 +73,24 @@ func (t *tcpTransport) Run(ctx context.Context, spec InstanceSpec) (*Result, err
 		j := tcpJitter(spec.Seed, connIndex, int(serial.Add(1)))
 		return 3*interval/2 + time.Duration(j%2000)*interval/1000
 	}
-	hub, err := tcpnet.NewHub(t.listenAddr, tcpnet.WithForwardDelay(delay))
+	hubOpts := []tcpnet.HubOption{tcpnet.WithForwardDelay(delay)}
+	if sc := spec.linkFaults(); sc != nil {
+		// The hub relays opaque frames and never learns rounds, so the
+		// scenario is realized physically: partitions activate by wall
+		// clock (round ≈ elapsed/interval, the same approximation the GST
+		// chaos uses) and the loss/duplication draws hash the frame serial
+		// instead of the round — per-forward faults that are deterministic
+		// in the spec seed for a fixed frame order.
+		draws := &env.Scenario{Seed: sc.Seed, LossPct: sc.LossPct, DupPct: sc.DupPct}
+		hubOpts = append(hubOpts, tcpnet.WithForwardFault(func(from, to, frameSerial int) (bool, bool) {
+			round := int(time.Since(start)/interval) + 1
+			if sc.Partitioned(round, from, to) {
+				return true, false
+			}
+			return draws.Drops(frameSerial, from, to), draws.Duplicates(frameSerial, from, to)
+		}))
+	}
+	hub, err := tcpnet.NewHub(t.listenAddr, hubOpts...)
 	if err != nil {
 		return nil, err
 	}
