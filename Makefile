@@ -17,7 +17,7 @@ FUZZTIME  ?= 10s
 # BENCH_THRESHOLD=30) when measuring on quiet, comparable hardware.
 BENCH_THRESHOLD ?= 100
 
-.PHONY: test race build vet bench bench-smoke fuzz-smoke scenarios-smoke
+.PHONY: test race build vet bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke
 
 build:
 	$(GO) build ./...
@@ -60,9 +60,19 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDeltaEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME) ./internal/env
+	$(GO) test -run '^$$' -fuzz '^FuzzTrace$$' -fuzztime $(FUZZTIME) ./internal/explore
 
 # scenarios-smoke renders the S1 scenario sweep on the shrunken grid: a
 # fast end-to-end pass over the fault plane (loss, duplication, partitions,
 # random adversary) that CI runs on every push.
 scenarios-smoke:
 	$(GO) run ./cmd/anonsim -exp S1 -quick
+
+# explore-smoke is the exploration plane's quick pass, run by CI on every
+# push: the exhaustive n=2 space (X1 quick), 10k randomized PCT-style
+# trials with the random adversary on 60% of them, and the explore package
+# under the race detector.
+explore-smoke:
+	$(GO) run ./cmd/anonsim -exp X1 -quick
+	$(GO) run ./cmd/anonsim -explore -n 4 -trials 10000 -seed 1 -scenarios 60
+	$(GO) test -race ./internal/explore

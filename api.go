@@ -2,11 +2,15 @@ package anonconsensus
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
 	"anonconsensus/internal/core"
+	"anonconsensus/internal/env"
+	"anonconsensus/internal/explore"
 	"anonconsensus/internal/giraf"
 	"anonconsensus/internal/obstruction"
 	"anonconsensus/internal/register"
@@ -304,6 +308,205 @@ func RunBatch(ctx context.Context, items []BatchItem, opts ...Option) ([]*Result
 		}
 	}
 	return out, err
+}
+
+// ExploreMode selects the exploration plane's search strategy.
+type ExploreMode int
+
+// Supported exploration modes.
+const (
+	// ExploreExhaustive enumerates every MS-valid {0,1}-delay schedule up
+	// to the horizon — model checking for tiny systems (n ≤ 3).
+	ExploreExhaustive ExploreMode = iota + 1
+	// ExploreRandom samples schedules PCT-style (a priority order picks
+	// each round's source; Depth change points reshuffle it) and optionally
+	// overlays random fault scenarios — scales to n ≈ 8 and beyond.
+	ExploreRandom
+)
+
+// ExploreConfig bounds an exploration of the schedule × scenario space.
+// The zero value of every knob selects a sensible default; only Proposals
+// is required.
+type ExploreConfig struct {
+	// Proposals holds one initial value per process; n = len(Proposals).
+	// Exhaustive mode supports n ≤ 3, random mode n ≤ 16.
+	Proposals []Value
+	// Env selects the algorithm under test (EnvES or EnvESS); defaults to
+	// EnvES.
+	Env Environment
+	// Mode selects the strategy; defaults to ExploreExhaustive.
+	Mode ExploreMode
+	// Horizon is the number of explicitly scheduled rounds (exhaustive
+	// 1..8, required there; random 1..64, default 12).
+	Horizon int
+	// Tail is the number of steady-state rounds beyond the horizon;
+	// defaults to 8 (exhaustive) or 12 (random).
+	Tail int
+	// CrashSweeps (exhaustive) sweeps every single-crash placement.
+	CrashSweeps bool
+	// SampleEvery (exhaustive) keeps every k-th schedule only.
+	SampleEvery int
+	// Trials (random) is the number of sampled schedules; default 1000.
+	Trials int
+	// Seed (random) reproduces the whole search.
+	Seed int64
+	// MaxDelay (random) bounds sampled link delays (1..9, default 3).
+	MaxDelay int
+	// Depth (random) is the number of PCT-style priority-change points
+	// (default 3).
+	Depth int
+	// ScenarioPct (random) is the percentage of trials that overlay a
+	// random fault scenario (RandomScenario); requires a zero Scenario.
+	ScenarioPct int
+	// Scenario overlays one fixed fault scenario on every run. A crash
+	// schedule that stops every process is rejected with ErrAllCrashed.
+	Scenario Scenario
+	// Parallelism bounds the trial worker pool (0 = GOMAXPROCS); the
+	// report is byte-identical at any setting.
+	Parallelism int
+	// DisableShrink skips counterexample minimization.
+	DisableShrink bool
+}
+
+// Counterexample is one property violation minimized into a replayable
+// artifact: Replay(c.Trace) deterministically reproduces ReplayViolation.
+type Counterexample struct {
+	// Violation is the check failure observed on the originally sampled
+	// run.
+	Violation string
+	// Trace is the shrunk, locally-minimal run.
+	Trace Trace
+	// ReplayViolation is the violation the shrunk trace reproduces.
+	ReplayViolation string
+}
+
+// ExploreReport summarizes an exploration.
+type ExploreReport struct {
+	// Schedules and Runs count the executed search space (runs = schedules
+	// × crash placements in exhaustive mode).
+	Schedules, Runs int
+	// Faulted counts runs that carried a non-empty fault scenario.
+	Faulted int
+	// Decided counts runs in which every correct process decided.
+	Decided int
+	// Violations lists every property violation found (empty = verified).
+	Violations []string
+	// Counterexamples holds shrunk replayable artifacts for the first
+	// violations found.
+	Counterexamples []Counterexample
+
+	inner *explore.Report
+}
+
+// Verified reports whether no run violated a checked property.
+func (r *ExploreReport) Verified() bool { return len(r.Violations) == 0 }
+
+// Render writes the report's canonical text form: a pure function of the
+// report, byte-identical at any parallelism for a fixed seed.
+func (r *ExploreReport) Render(w io.Writer) error { return r.inner.Render(w) }
+
+// Trace is one fully-determined exploration run — algorithm, proposals,
+// per-round delay schedule, steady state and fault scenario. Its String
+// form is the canonical text encoding (ParseTrace is the inverse), and
+// Replay re-executes it deterministically. Traces come out of exploration
+// counterexamples or are parsed from text; the zero Trace is not runnable.
+type Trace struct {
+	inner explore.Trace
+}
+
+// String returns the canonical text encoding of the trace.
+func (t Trace) String() string { return t.inner.Encode() }
+
+// ParseTrace parses the canonical trace text form produced by
+// Trace.String / the exploration reports.
+func ParseTrace(text string) (Trace, error) {
+	inner, err := explore.ParseTrace(text)
+	if err != nil {
+		return Trace{}, fmt.Errorf("anonconsensus: %w", err)
+	}
+	return Trace{inner: *inner}, nil
+}
+
+// Explore searches the schedule × fault-scenario space of the selected
+// algorithm and verifies Agreement, Validity, irrevocability of decisions,
+// and — wherever the environment still guarantees it — Termination, on
+// every run. Violations are minimized by a delta-debugging shrinker into
+// replayable counterexamples. For a fixed configuration the report is
+// byte-identical at any parallelism.
+func Explore(cfg ExploreConfig) (*ExploreReport, error) {
+	inner := explore.Config{
+		Proposals:     toValues(cfg.Proposals),
+		Horizon:       cfg.Horizon,
+		Tail:          cfg.Tail,
+		CrashSweeps:   cfg.CrashSweeps,
+		SampleEvery:   cfg.SampleEvery,
+		Trials:        cfg.Trials,
+		Seed:          cfg.Seed,
+		MaxDelay:      cfg.MaxDelay,
+		Depth:         cfg.Depth,
+		ScenarioPct:   cfg.ScenarioPct,
+		Parallelism:   cfg.Parallelism,
+		DisableShrink: cfg.DisableShrink,
+	}
+	switch cfg.Env {
+	case EnvESS:
+		inner.Algorithm = explore.AlgESS
+	case EnvES, 0:
+		inner.Algorithm = explore.AlgES
+	default:
+		return nil, fmt.Errorf("anonconsensus: unknown environment %d", int(cfg.Env))
+	}
+	switch cfg.Mode {
+	case ExploreExhaustive, 0:
+		inner.Mode = explore.ModeExhaustive
+	case ExploreRandom:
+		inner.Mode = explore.ModeRandom
+	default:
+		return nil, fmt.Errorf("anonconsensus: unknown exploration mode %d", int(cfg.Mode))
+	}
+	if sc := cfg.Scenario.toEnv(cfg.Seed); !sc.Empty() {
+		inner.Scenario = sc
+	}
+	rep, err := explore.Run(inner)
+	if err != nil {
+		if errors.Is(err, env.ErrAllCrashed) {
+			// Translate to the public sentinel, as the transports do.
+			return nil, fmt.Errorf("anonconsensus: exploration scenario makes every run vacuous: %w", ErrAllCrashed)
+		}
+		return nil, fmt.Errorf("anonconsensus: %w", err)
+	}
+	return exploreReport(rep), nil
+}
+
+// Replay re-executes one trace and reports the violations (if any) it
+// reproduces. Replay is deterministic: the same trace always yields the
+// same report.
+func Replay(t Trace) (*ExploreReport, error) {
+	rep, err := explore.Run(explore.Config{Mode: explore.ModeReplay, Trace: &t.inner})
+	if err != nil {
+		return nil, fmt.Errorf("anonconsensus: %w", err)
+	}
+	return exploreReport(rep), nil
+}
+
+// exploreReport converts the internal report to the public form.
+func exploreReport(rep *explore.Report) *ExploreReport {
+	out := &ExploreReport{
+		Schedules:  rep.Schedules,
+		Runs:       rep.Runs,
+		Faulted:    rep.Faulted,
+		Decided:    rep.Decided,
+		Violations: append([]string(nil), rep.Violations...),
+		inner:      rep,
+	}
+	for _, cx := range rep.Counterexamples {
+		out.Counterexamples = append(out.Counterexamples, Counterexample{
+			Violation:       cx.Violation,
+			Trace:           Trace{inner: cx.Trace},
+			ReplayViolation: cx.ReplayViolation,
+		})
+	}
+	return out
 }
 
 // WeakSet is the anonymous shared-set data structure of §5: adds are

@@ -1,6 +1,8 @@
 // Command anonsim regenerates the reproduction experiments (EXPERIMENTS.md
-// tables T1–T10, figures F1–F3, and the S1 scenario sweep) from scratch,
-// and demos the public Node API on the deterministic backend.
+// tables T1–T10, figures F1–F3, the S1 scenario sweep and the X1/X2
+// exploration tables) from scratch, demos the public Node API on the
+// deterministic backend, and fronts the exploration plane (randomized
+// schedule search and counterexample replay).
 //
 // Usage:
 //
@@ -12,9 +14,15 @@
 //	anonsim -all -parallel 4 fan trials across 4 workers (same bytes out)
 //	anonsim -session 3       run N consensus instances over one Node session
 //
-// Experiment trials are independent, so -parallel only changes wall-clock
-// time: tables are byte-identical at any worker count (0, the default,
-// uses every core; 1 forces the sequential path).
+//	anonsim -explore                        randomized schedule search
+//	anonsim -explore -n 8 -trials 10000     ... at chosen size and budget
+//	anonsim -explore -scenarios 60 -env ess ... with 60% adversary trials
+//	anonsim -replay 'alg=ES;props=…;sched=…' replay a counterexample trace
+//
+// Experiment trials and exploration trials are independent, so -parallel
+// only changes wall-clock time: tables and exploration reports are
+// byte-identical at any worker count (0, the default, uses every core; 1
+// forces the sequential path).
 package main
 
 import (
@@ -28,50 +36,135 @@ import (
 	"anonconsensus/internal/expt"
 )
 
+// cliOpts carries the parsed command line.
+type cliOpts struct {
+	list     bool
+	expID    string
+	all      bool
+	quick    bool
+	session  int
+	parallel int
+
+	explore     bool
+	exploreN    int
+	trials      int
+	seed        int64
+	envName     string
+	scenarioPct int
+	replay      string
+}
+
 func main() {
-	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		expID    = flag.String("exp", "", "run a single experiment (T1..T10, F1..F3)")
-		all      = flag.Bool("all", false, "run the whole suite")
-		quick    = flag.Bool("quick", false, "shrink parameter grids for a fast pass")
-		session  = flag.Int("session", 0, "run this many consensus instances over one Node session (sim transport)")
-		parallel = flag.Int("parallel", 0, "workers for experiment trials (0 = all cores, 1 = sequential); output is byte-identical at any setting")
-	)
+	var o cliOpts
+	flag.BoolVar(&o.list, "list", false, "list experiments and exit")
+	flag.StringVar(&o.expID, "exp", "", "run a single experiment (T1..T11, F1..F3, X1, X2, S1)")
+	flag.BoolVar(&o.all, "all", false, "run the whole suite")
+	flag.BoolVar(&o.quick, "quick", false, "shrink parameter grids for a fast pass")
+	flag.IntVar(&o.session, "session", 0, "run this many consensus instances over one Node session (sim transport)")
+	flag.IntVar(&o.parallel, "parallel", 0, "workers for experiment/exploration trials (0 = all cores, 1 = sequential); output is byte-identical at any setting")
+	flag.BoolVar(&o.explore, "explore", false, "run the randomized exploration plane (PCT-style schedule search; see -n, -trials, -seed, -env, -scenarios)")
+	flag.IntVar(&o.exploreN, "n", 4, "exploration: number of processes (1..16)")
+	flag.IntVar(&o.trials, "trials", 5000, "exploration: number of randomized trials")
+	flag.Int64Var(&o.seed, "seed", 1, "exploration: search seed (identical seeds reproduce the whole search)")
+	flag.StringVar(&o.envName, "env", "es", "exploration: algorithm under test (es or ess)")
+	flag.IntVar(&o.scenarioPct, "scenarios", 50, "exploration: percentage of trials that overlay a random fault scenario")
+	flag.StringVar(&o.replay, "replay", "", "replay a canonical exploration trace and report its violations")
 	flag.Parse()
 
-	if err := run(*list, *expID, *all, *quick, *session, *parallel); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "anonsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, expID string, all, quick bool, session, parallel int) error {
-	expt.SetParallelism(parallel)
+func run(o cliOpts) error {
+	expt.SetParallelism(o.parallel)
 	switch {
-	case list:
+	case o.list:
 		for _, e := range expt.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
-	case session > 0:
-		return runSession(session)
-	case expID != "":
-		e, ok := expt.ByID(expID)
+	case o.replay != "":
+		return runReplay(o.replay)
+	case o.explore:
+		return runExplore(o)
+	case o.session > 0:
+		return runSession(o.session)
+	case o.expID != "":
+		e, ok := expt.ByID(o.expID)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", expID)
+			return fmt.Errorf("unknown experiment %q (use -list)", o.expID)
 		}
-		return runOne(e, quick)
-	case all:
+		return runOne(e, o.quick)
+	case o.all:
 		for _, e := range expt.All() {
-			if err := runOne(e, quick); err != nil {
+			if err := runOne(e, o.quick); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -list, -exp, -all or -session")
+		return fmt.Errorf("nothing to do: pass -list, -exp, -all, -session, -explore or -replay")
 	}
+}
+
+// runExplore drives the public exploration API: a randomized PCT-style
+// schedule search whose report (violations, shrunk counterexamples) is a
+// pure function of the flags.
+func runExplore(o cliOpts) error {
+	env, err := anonconsensus.ParseEnvironment(o.envName)
+	if err != nil {
+		return err
+	}
+	proposals := make([]anonconsensus.Value, o.exploreN)
+	for i := range proposals {
+		proposals[i] = anonconsensus.NumValue(int64(i))
+	}
+	fmt.Printf("== explore: randomized search, %s n=%d trials=%d seed=%d scenarios=%d%% ==\n",
+		env, o.exploreN, o.trials, o.seed, o.scenarioPct)
+	start := time.Now()
+	rep, err := anonconsensus.Explore(anonconsensus.ExploreConfig{
+		Proposals:   proposals,
+		Env:         env,
+		Mode:        anonconsensus.ExploreRandom,
+		Trials:      o.trials,
+		Seed:        o.seed,
+		ScenarioPct: o.scenarioPct,
+		Parallelism: o.parallel,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("(explored in %s)\n", time.Since(start).Round(time.Millisecond))
+	if !rep.Verified() {
+		return fmt.Errorf("exploration found %d violations", len(rep.Violations))
+	}
+	return nil
+}
+
+// runReplay re-executes one canonical trace — typically a shrunk
+// counterexample pasted from an exploration report.
+func runReplay(text string) error {
+	tr, err := anonconsensus.ParseTrace(text)
+	if err != nil {
+		return err
+	}
+	rep, err := anonconsensus.Replay(tr)
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	if !rep.Verified() {
+		return fmt.Errorf("replay reproduced %d violations", len(rep.Violations))
+	}
+	return nil
 }
 
 // runSession demos the public API: one long-lived Node over the

@@ -1,0 +1,106 @@
+package anonconsensus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestExploreExhaustiveTinySpace(t *testing.T) {
+	rep, err := Explore(ExploreConfig{
+		Proposals: []Value{NumValue(1), NumValue(2)},
+		Horizon:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified() {
+		t.Fatalf("violations on the exhaustive n=2 space: %v", rep.Violations[0])
+	}
+	if rep.Schedules != 27 { // 3 MS-valid matrices ^ horizon 3
+		t.Errorf("schedules = %d, want 27", rep.Schedules)
+	}
+	if rep.Decided == 0 {
+		t.Error("nothing decided on the exhaustive space")
+	}
+}
+
+func TestExploreRandomizedPublic(t *testing.T) {
+	rep, err := Explore(ExploreConfig{
+		Proposals:   []Value{NumValue(1), NumValue(2), NumValue(3), NumValue(4), NumValue(5)},
+		Env:         EnvESS,
+		Mode:        ExploreRandom,
+		Trials:      150,
+		Seed:        9,
+		ScenarioPct: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified() {
+		t.Fatalf("violations on correct ESS: %v", rep.Violations[0])
+	}
+	if rep.Runs != 150 || rep.Faulted == 0 {
+		t.Errorf("runs=%d faulted=%d, want 150 runs with some faulted", rep.Runs, rep.Faulted)
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "violations: 0 (verified)") {
+		t.Errorf("render missing verified line:\n%s", b.String())
+	}
+}
+
+func TestExploreRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]ExploreConfig{
+		"no proposals": {Horizon: 2},
+		"bad env":      {Proposals: []Value{NumValue(1)}, Env: Environment(9), Horizon: 2},
+		"bad mode":     {Proposals: []Value{NumValue(1)}, Mode: ExploreMode(9), Horizon: 2},
+		"no horizon":   {Proposals: []Value{NumValue(1)}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Explore(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestExploreRejectsVacuousScenarioPublic(t *testing.T) {
+	_, err := Explore(ExploreConfig{
+		Proposals: []Value{NumValue(1), NumValue(2)},
+		Horizon:   2,
+		Scenario:  Scenario{Crashes: map[int]int{0: 1, 1: 1}},
+	})
+	if err == nil {
+		t.Fatal("all-crash scenario accepted")
+	}
+	if !errors.Is(err, ErrAllCrashed) {
+		t.Errorf("error %v does not wrap the public ErrAllCrashed", err)
+	}
+}
+
+func TestTraceRoundTripAndReplayPublic(t *testing.T) {
+	const text = "alg=ES;props=000000000001|000000000002;tail=8;steady=sync;sched=01.00/00.00"
+	tr, err := ParseTrace(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != text {
+		t.Errorf("canonical form changed: %q → %q", text, tr.String())
+	}
+	rep, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified() {
+		t.Fatalf("clean trace replayed violations: %v", rep.Violations)
+	}
+	if rep.Decided != 1 {
+		t.Errorf("decided = %d, want 1", rep.Decided)
+	}
+	if _, err := ParseTrace("alg=??"); err == nil {
+		t.Error("junk trace accepted")
+	}
+}

@@ -99,6 +99,16 @@ func (s *Scenario) Empty() bool {
 	return s == nil || (len(s.Crashes) == 0 && s.LossPct == 0 && s.DupPct == 0 && len(s.Partitions) == 0)
 }
 
+// LinkFaultFree reports whether the scenario never suppresses a delivery:
+// no loss rate and no partitions. Crashes and duplication do not remove
+// messages between correct processes, so a link-fault-free run keeps the
+// model's reliable-broadcast assumption and the algorithms' Termination
+// guarantee stays assertable; the exploration plane keys its termination
+// check off this predicate.
+func (s *Scenario) LinkFaultFree() bool {
+	return s == nil || (s.LossPct == 0 && len(s.Partitions) == 0)
+}
+
 // CrashRound returns the scheduled crash round for pid, or ok=false.
 func (s *Scenario) CrashRound(pid int) (int, bool) {
 	if s == nil {

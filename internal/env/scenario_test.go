@@ -256,3 +256,22 @@ func TestRandomAdversaryReproducibleAndValid(t *testing.T) {
 		t.Error("different seeds produced identical adversaries")
 	}
 }
+
+func TestScenarioLinkFaultFree(t *testing.T) {
+	var nilSc *Scenario
+	for name, tt := range map[string]struct {
+		sc   *Scenario
+		want bool
+	}{
+		"nil":            {nilSc, true},
+		"zero":           {&Scenario{}, true},
+		"crashes + dup":  {&Scenario{DupPct: 70, Crashes: map[int]int{0: 1}}, true},
+		"loss":           {&Scenario{LossPct: 1}, false},
+		"partition":      {&Scenario{Partitions: []Partition{{From: 1, Cut: 1}}}, false},
+		"loss via chaos": {RandomAdversary(3, 6), false},
+	} {
+		if got := tt.sc.LinkFaultFree(); got != tt.want {
+			t.Errorf("%s: LinkFaultFree() = %v, want %v", name, got, tt.want)
+		}
+	}
+}

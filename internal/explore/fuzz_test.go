@@ -1,0 +1,44 @@
+package explore
+
+import "testing"
+
+// FuzzTrace fuzzes the trace text form: any input that parses must survive
+// an encode/parse round trip unchanged (the canonical form is a fixed
+// point), re-validate, and be executable end to end without panicking. It
+// is the explore-plane sibling of env's FuzzScenario.
+func FuzzTrace(f *testing.F) {
+	f.Add("alg=ES;props=a|b;sched=00.00")
+	f.Add("alg=ESS;props=000000000001|000000000002;tail=10;steady=repeat;sched=01.10/00.00")
+	f.Add("alg=ES;props=x;tail=0;steady=sync;sched=0/0/0")
+	f.Add("alg=ES;props=a|b|c;sched=000.000.000;scenario=loss=10,dup=5,part=1:3:1,crash=2@4")
+	f.Add("alg=ESS;props=a|b;tail=99;sched=09.90")
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := ParseTrace(text)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if verr := tr.validate(); verr != nil {
+			t.Fatalf("ParseTrace(%q) returned an invalid trace: %v", text, verr)
+		}
+		enc := tr.Encode()
+		back, err := ParseTrace(enc)
+		if err != nil {
+			t.Fatalf("re-parse of canonical form %q (from %q): %v", enc, text, err)
+		}
+		if got := back.Encode(); got != enc {
+			t.Fatalf("canonical form is not a fixed point: %q → %q (input %q)", enc, got, text)
+		}
+		// Parsed traces must be executable: cap the run so pathological
+		// tails stay cheap.
+		if back.Tail > 32 {
+			back.Tail = 32
+		}
+		rep, err := Run(Config{Mode: ModeReplay, Trace: back})
+		if err != nil {
+			t.Fatalf("replay of %q: %v", enc, err)
+		}
+		if rep.Runs != 1 {
+			t.Fatalf("replay executed %d runs", rep.Runs)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package explore
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/env"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+)
+
+func TestRandomizedESCleanAtN8(t *testing.T) {
+	// PCT-style schedule sampling at a size the exhaustive space cannot
+	// reach, with the random adversary overlaid on most trials: Algorithm 2
+	// must hold every property the environment guarantees.
+	rep, err := Run(Config{
+		Proposals:   core.DistinctProposals(8),
+		Algorithm:   AlgES,
+		Mode:        ModeRandom,
+		Trials:      400,
+		Seed:        1,
+		ScenarioPct: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified() {
+		t.Fatalf("violations on correct ES:\n%s", strings.Join(rep.Violations[:minInt(3, len(rep.Violations))], "\n"))
+	}
+	if rep.Schedules != 400 || rep.Runs != 400 {
+		t.Errorf("counters: schedules=%d runs=%d, want 400/400", rep.Schedules, rep.Runs)
+	}
+	if rep.Faulted == 0 || rep.Faulted == rep.Runs {
+		t.Errorf("faulted = %d of %d — the 60%% scenario draw should hit some but not all trials", rep.Faulted, rep.Runs)
+	}
+	if rep.Decided == 0 {
+		t.Error("no trial decided — the synchronous tail should let fault-free trials decide")
+	}
+}
+
+func TestRandomizedESSClean(t *testing.T) {
+	rep, err := Run(Config{
+		Proposals:   core.DistinctProposals(6),
+		Algorithm:   AlgESS,
+		Mode:        ModeRandom,
+		Trials:      200,
+		Seed:        2,
+		ScenarioPct: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified() {
+		t.Fatalf("violations on correct ESS:\n%s", strings.Join(rep.Violations[:minInt(3, len(rep.Violations))], "\n"))
+	}
+	if rep.Decided == 0 {
+		t.Error("no ESS trial decided")
+	}
+}
+
+func TestRandomizedReportByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the randomized search three times")
+	}
+	render := func(par int) string {
+		rep, err := Run(Config{
+			Proposals:   core.DistinctProposals(5),
+			Algorithm:   AlgES,
+			Mode:        ModeRandom,
+			Trials:      300,
+			Seed:        3,
+			ScenarioPct: 70,
+			Parallelism: par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		var b strings.Builder
+		if err := rep.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	want := render(1)
+	for _, par := range []int{4, runtime.NumCPU()} {
+		if got := render(par); got != want {
+			t.Errorf("report diverged between parallelism 1 and %d:\n want: %q\n  got: %q", par, want, got)
+		}
+	}
+}
+
+// brokenValidity wraps ES but decides a non-proposal value once its round
+// counter passes a threshold — the injected bug the randomized search must
+// find, shrink and replay.
+type brokenValidity struct {
+	inner giraf.Automaton
+}
+
+func (a brokenValidity) Initialize() giraf.Payload { return a.inner.Initialize() }
+
+func (a brokenValidity) Compute(k int, in giraf.Inbox) (giraf.Payload, giraf.Decision) {
+	if k >= 3 {
+		return nil, giraf.Decision{Decided: true, Value: values.Num(999999)}
+	}
+	return a.inner.Compute(k, in)
+}
+
+func TestRandomizedFindsInjectedBugAndShrinks(t *testing.T) {
+	props := core.DistinctProposals(4)
+	cfg := Config{
+		Proposals:   props,
+		Algorithm:   AlgES,
+		Mode:        ModeRandom,
+		Trials:      20,
+		Seed:        4,
+		ScenarioPct: 40,
+		Automaton: func(i int) giraf.Automaton {
+			return brokenValidity{inner: core.NewES(props[i])}
+		},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified() {
+		t.Fatal("injected validity bug survived the randomized search")
+	}
+	if len(rep.Counterexamples) == 0 {
+		t.Fatal("violations without counterexamples")
+	}
+	cx := rep.Counterexamples[0]
+	if violationKind(cx.Violation) != "validity" {
+		t.Fatalf("violation kind = %q, want validity (%s)", violationKind(cx.Violation), cx.Violation)
+	}
+	if cx.Probes == 0 {
+		t.Error("shrinker ran no probes")
+	}
+	// The shrunk counterexample must be locally minimal in the dimensions
+	// the shrinker controls: this bug needs no adversarial delays and no
+	// scenario at all, so everything should have been stripped.
+	if !cx.Trace.Scenario.Empty() {
+		t.Errorf("shrunk trace kept a scenario: %s", cx.Trace.Scenario.Encode())
+	}
+	if len(cx.Trace.Schedule) != 1 {
+		t.Errorf("shrunk schedule has %d rounds, want 1", len(cx.Trace.Schedule))
+	}
+	for _, row := range cx.Trace.Schedule[0] {
+		for _, d := range row {
+			if d != 0 {
+				t.Errorf("shrunk schedule kept a nonzero delay: %v", cx.Trace.Schedule[0])
+			}
+		}
+	}
+
+	// The trace must survive its text form and replay to the identical
+	// violation, deterministically, against the same injected bug.
+	enc := cx.Trace.Encode()
+	parsed, err := ParseTrace(enc)
+	if err != nil {
+		t.Fatalf("shrunk trace does not re-parse (%q): %v", enc, err)
+	}
+	for i := 0; i < 2; i++ {
+		replay, err := Run(Config{Mode: ModeReplay, Trace: parsed, Automaton: cfg.Automaton})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(replay.Violations) == 0 {
+			t.Fatalf("replay of %q reproduced nothing", enc)
+		}
+		if got, ok := firstOfKind(replay.Violations, "validity"); !ok || got != cx.ReplayViolation {
+			t.Errorf("replay %d: violation %q, want %q", i, got, cx.ReplayViolation)
+		}
+	}
+}
+
+// neverDecides drops every decision an inner automaton makes: the injected
+// liveness bug the termination check must flag on fault-free trials.
+type neverDecides struct {
+	inner giraf.Automaton
+	last  giraf.Payload
+}
+
+func (a *neverDecides) Initialize() giraf.Payload {
+	a.last = a.inner.Initialize()
+	return a.last
+}
+
+func (a *neverDecides) Compute(k int, in giraf.Inbox) (giraf.Payload, giraf.Decision) {
+	pay, dec := a.inner.Compute(k, in)
+	if dec.Decided {
+		// The inner automaton would halt; keep rebroadcasting its last
+		// payload instead so the run visibly never terminates.
+		return a.last, giraf.Decision{}
+	}
+	if pay != nil {
+		a.last = pay
+	}
+	return a.last, giraf.Decision{}
+}
+
+func TestRandomizedFlagsTerminationViolation(t *testing.T) {
+	props := core.DistinctProposals(3)
+	rep, err := Run(Config{
+		Proposals: props,
+		Algorithm: AlgES,
+		Mode:      ModeRandom,
+		Trials:    5,
+		Seed:      5,
+		Automaton: func(i int) giraf.Automaton {
+			return &neverDecides{inner: core.NewES(props[i])}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified() {
+		t.Fatal("a never-deciding automaton passed the termination check")
+	}
+	// The trial prefix hides the kind in Violations; the counterexamples
+	// carry the raw message.
+	found := false
+	for _, cx := range rep.Counterexamples {
+		if violationKind(cx.Violation) == "termination" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no termination violation among: %v", rep.Violations[:minInt(2, len(rep.Violations))])
+	}
+}
+
+func TestRandomizedConfigValidation(t *testing.T) {
+	valid := Config{
+		Proposals: core.DistinctProposals(4),
+		Algorithm: AlgES,
+		Mode:      ModeRandom,
+		Trials:    1,
+	}
+	if _, err := Run(valid); err != nil {
+		t.Fatalf("valid random config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"too many procs": func(c *Config) { c.Proposals = core.DistinctProposals(17) },
+		"no procs":       func(c *Config) { c.Proposals = nil },
+		"huge horizon":   func(c *Config) { c.Horizon = 65 },
+		"negative depth": func(c *Config) { c.Depth = -1 },
+		"delay too big":  func(c *Config) { c.MaxDelay = 10 },
+		"bad pct":        func(c *Config) { c.ScenarioPct = 101 },
+		"pct + scenario": func(c *Config) { c.ScenarioPct = 10; c.Scenario = &env.Scenario{LossPct: 1} },
+		"bad separator":  func(c *Config) { c.Proposals = []values.Value{"a|b", "c", "d", "e"} },
+		"bad mode":       func(c *Config) { c.Mode = Mode(9) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := valid
+			mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("invalid random config accepted")
+			}
+		})
+	}
+}
+
+func TestModeAndAlgorithmStrings(t *testing.T) {
+	for want, got := range map[string]string{
+		"exhaustive": ModeExhaustive.String(),
+		"random":     ModeRandom.String(),
+		"replay":     ModeReplay.String(),
+	} {
+		if got != want {
+			t.Errorf("mode string %q, want %q", got, want)
+		}
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode must render")
+	}
+}

@@ -1,0 +1,251 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"anonconsensus/internal/env"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/sim"
+	"anonconsensus/internal/values"
+)
+
+// Trace is one fully-determined exploration run: the automaton family, the
+// proposals, the explicit per-round delay schedule, the steady state beyond
+// it, and the fault scenario. A Trace is pure data — Encode renders the
+// canonical text form, ParseTrace is its inverse, and replaying the same
+// trace always reproduces the same run byte for byte.
+//
+// The grammar (fields ';'-separated, order canonical on output and free on
+// input):
+//
+//	alg=ES;props=P0|P1|…;tail=T;steady=sync|repeat;sched=M1/M2/…;scenario=…
+//
+// where each matrix Mk is its rows joined by '.', each row one digit per
+// receiver (delay 0–9, diagonal 0), and scenario is env.Scenario.Encode's
+// form (omitted when empty). tail is the number of steady-state rounds
+// executed after the explicit schedule: all-timely rounds under steady=sync
+// (the randomized sampler's tail), repetitions of the last matrix under
+// steady=repeat (the exhaustive adversary).
+type Trace struct {
+	Algorithm Algorithm
+	Proposals []values.Value
+	Tail      int
+	// SyncSteady selects the steady state beyond the schedule: fully timely
+	// rounds (true, "steady=sync") or repetition of the last matrix (false,
+	// "steady=repeat").
+	SyncSteady bool
+	Schedule   []matrix
+	Scenario   *env.Scenario
+}
+
+// clone deep-copies the trace so shrink mutations never alias.
+func (t Trace) clone() Trace {
+	out := t
+	out.Proposals = append([]values.Value(nil), t.Proposals...)
+	out.Schedule = cloneSchedule(t.Schedule)
+	out.Scenario = t.Scenario.Clone()
+	return out
+}
+
+// validateTraceValue rejects proposal values the trace text form cannot
+// carry unambiguously.
+func validateTraceValue(p values.Value) error {
+	if !p.Valid() {
+		return fmt.Errorf("explore: trace proposal %q invalid", string(p))
+	}
+	if strings.ContainsAny(string(p), ";|") {
+		return fmt.Errorf("explore: trace proposal %q contains a reserved separator (';' or '|')", string(p))
+	}
+	return nil
+}
+
+// validate checks the trace is executable and encodable.
+func (t *Trace) validate() error {
+	switch t.Algorithm {
+	case AlgES, AlgESS:
+	default:
+		return fmt.Errorf("explore: trace has unknown algorithm %d", int(t.Algorithm))
+	}
+	n := len(t.Proposals)
+	if n < 1 || n > maxRandomProcs {
+		return fmt.Errorf("explore: trace has %d proposals, want 1..%d", n, maxRandomProcs)
+	}
+	for _, p := range t.Proposals {
+		if err := validateTraceValue(p); err != nil {
+			return err
+		}
+	}
+	if t.Tail < 0 || t.Tail > maxTraceTail {
+		return fmt.Errorf("explore: trace tail %d outside [0,%d]", t.Tail, maxTraceTail)
+	}
+	if len(t.Schedule) < 1 || len(t.Schedule) > maxTraceHorizon {
+		return fmt.Errorf("explore: trace schedule has %d rounds, want 1..%d", len(t.Schedule), maxTraceHorizon)
+	}
+	for r, m := range t.Schedule {
+		if len(m) != n {
+			return fmt.Errorf("explore: trace round %d matrix is %d×?, want %d×%d", r+1, len(m), n, n)
+		}
+		for i, row := range m {
+			if len(row) != n {
+				return fmt.Errorf("explore: trace round %d row %d has %d entries, want %d", r+1, i, len(row), n)
+			}
+			for j, d := range row {
+				if d < 0 || d > maxTraceDelay {
+					return fmt.Errorf("explore: trace round %d delay [%d][%d] = %d outside 0..%d", r+1, i, j, d, maxTraceDelay)
+				}
+				if i == j && d != 0 {
+					return fmt.Errorf("explore: trace round %d has nonzero self-delay for process %d", r+1, i)
+				}
+			}
+		}
+	}
+	if err := t.Scenario.Validate(n); err != nil {
+		return fmt.Errorf("explore: trace scenario: %w", err)
+	}
+	return nil
+}
+
+// terminationExpected reports whether the run's environment guarantees
+// Termination, making non-decision a violation: the steady state must be
+// synchronous (so ES eventually holds for the survivors), long enough to
+// let the algorithms converge, and the scenario must never suppress a
+// delivery (crashes and duplication are fine; loss and partitions void the
+// reliable-broadcast assumption the guarantee rests on).
+func (t *Trace) terminationExpected() bool {
+	return t.SyncSteady && t.Tail >= 8 && t.Scenario.LinkFaultFree()
+}
+
+// simConfig assembles the simulator configuration that executes the trace.
+// A nil automaton override selects the trace's own algorithm.
+func (t *Trace) simConfig(automaton func(i int) giraf.Automaton) sim.Config {
+	if automaton == nil {
+		automaton = algFactory(t.Algorithm, t.Proposals)
+	}
+	return sim.Config{
+		N:           len(t.Proposals),
+		Automaton:   automaton,
+		Policy:      &schedulePolicy{matrices: t.Schedule, syncSteady: t.SyncSteady},
+		Scenario:    t.Scenario,
+		MaxRounds:   len(t.Schedule) + t.Tail,
+		RecordTrace: true,
+	}
+}
+
+// Encode renders the canonical text form (see the type comment for the
+// grammar); ParseTrace is its inverse and the canonical form is a fixed
+// point of the round trip.
+func (t *Trace) Encode() string {
+	props := make([]string, len(t.Proposals))
+	for i, p := range t.Proposals {
+		props[i] = string(p)
+	}
+	steady := "repeat"
+	if t.SyncSteady {
+		steady = "sync"
+	}
+	var sched strings.Builder
+	for r, m := range t.Schedule {
+		if r > 0 {
+			sched.WriteByte('/')
+		}
+		for i, row := range m {
+			if i > 0 {
+				sched.WriteByte('.')
+			}
+			for _, d := range row {
+				sched.WriteByte(byte('0' + d))
+			}
+		}
+	}
+	parts := []string{
+		"alg=" + t.Algorithm.String(),
+		"props=" + strings.Join(props, "|"),
+		"tail=" + strconv.Itoa(t.Tail),
+		"steady=" + steady,
+		"sched=" + sched.String(),
+	}
+	if enc := t.Scenario.Encode(); enc != "" {
+		parts = append(parts, "scenario="+enc)
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseTrace parses the canonical trace text form produced by Encode. The
+// tail and steady fields are optional on input (defaults: tail=8,
+// steady=sync); the result is fully validated.
+func ParseTrace(text string) (*Trace, error) {
+	tr := &Trace{Tail: 8, SyncSteady: true}
+	var haveAlg, haveProps, haveSched bool
+	for _, field := range strings.Split(strings.TrimSpace(text), ";") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("explore: trace field %q is not key=value", field)
+		}
+		switch key {
+		case "alg":
+			switch val {
+			case "ES":
+				tr.Algorithm = AlgES
+			case "ESS":
+				tr.Algorithm = AlgESS
+			default:
+				return nil, fmt.Errorf("explore: trace algorithm %q (want ES or ESS)", val)
+			}
+			haveAlg = true
+		case "props":
+			for _, p := range strings.Split(val, "|") {
+				tr.Proposals = append(tr.Proposals, values.Value(p))
+			}
+			haveProps = true
+		case "tail":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("explore: trace tail %q: %w", val, err)
+			}
+			tr.Tail = v
+		case "steady":
+			switch val {
+			case "sync":
+				tr.SyncSteady = true
+			case "repeat":
+				tr.SyncSteady = false
+			default:
+				return nil, fmt.Errorf("explore: trace steady state %q (want sync or repeat)", val)
+			}
+		case "sched":
+			for _, mtext := range strings.Split(val, "/") {
+				rows := strings.Split(mtext, ".")
+				m := make(matrix, len(rows))
+				for i, rtext := range rows {
+					m[i] = make([]int, len(rtext))
+					for j := 0; j < len(rtext); j++ {
+						d := rtext[j]
+						if d < '0' || d > '9' {
+							return nil, fmt.Errorf("explore: trace delay %q is not a digit", string(d))
+						}
+						m[i][j] = int(d - '0')
+					}
+				}
+				tr.Schedule = append(tr.Schedule, m)
+			}
+			haveSched = true
+		case "scenario":
+			sc, err := env.ParseScenario(val)
+			if err != nil {
+				return nil, fmt.Errorf("explore: trace scenario: %w", err)
+			}
+			tr.Scenario = sc
+		default:
+			return nil, fmt.Errorf("explore: unknown trace field %q", key)
+		}
+	}
+	if !haveAlg || !haveProps || !haveSched {
+		return nil, fmt.Errorf("explore: trace needs at least alg, props and sched fields")
+	}
+	if err := tr.validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

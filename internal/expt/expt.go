@@ -43,6 +43,7 @@ func All() []Experiment {
 		{ID: "F2", Title: "Self-considered leaders per round in ESS (convergence dynamics)", Run: runF2},
 		{ID: "F3", Title: "Adversarial MS schedule: no consensus without ES/ESS (FLP corollary)", Run: runF3},
 		{ID: "X1", Title: "Bounded exhaustive schedule verification (model-checking style)", Run: runX1},
+		{ID: "X2", Title: "Randomized schedule search: PCT-style sampling under fault scenarios", Run: runX2},
 		{ID: "T11", Title: "Obstruction-free anonymous consensus under contention (related work [9])", Run: runT11},
 		{ID: "S1", Title: "Scenario sweep: termination/agreement vs loss, duplication, partitions", Run: runS1},
 	}

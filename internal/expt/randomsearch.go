@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/explore"
+)
+
+// runX2: randomized schedule search — the exploration plane's PCT-style
+// sampler at sizes the X1 exhaustive space cannot reach, with the random
+// adversary overlaid on a fraction of trials. Each row is one search; a
+// correct algorithm must come out verified (0 violations) on every row,
+// and the table records how much of the space actually terminated (faulted
+// trials legitimately may not: loss and partitions void the Termination
+// guarantee, which is the point of sweeping them).
+//
+// Like every table, the search fans over the shared batch runner and is
+// byte-identical at any parallelism.
+func runX2(w io.Writer, quick bool) error {
+	type job struct {
+		label       string
+		alg         explore.Algorithm
+		n           int
+		scenarioPct int
+	}
+	n := 8
+	trials := 2000
+	if quick {
+		n = 5
+		trials = 300
+	}
+	jobs := []job{
+		{"ES fault-free", explore.AlgES, n, 0},
+		{"ES + random adversary 60%", explore.AlgES, n, 60},
+		{"ESS fault-free", explore.AlgESS, n - 2, 0},
+		{"ESS + random adversary 60%", explore.AlgESS, n - 2, 60},
+	}
+	t := newTable("search", "n", "trials", "faulted", "decided", "violations")
+	for i, j := range jobs {
+		rep, err := explore.Run(explore.Config{
+			Proposals:   core.DistinctProposals(j.n),
+			Algorithm:   j.alg,
+			Mode:        explore.ModeRandom,
+			Trials:      trials,
+			Seed:        int64(100 + i),
+			ScenarioPct: j.scenarioPct,
+			Parallelism: parallelism(),
+		})
+		if err != nil {
+			return fmt.Errorf("X2 %s: %w", j.label, err)
+		}
+		verdict := "none (verified)"
+		if !rep.Verified() {
+			verdict = fmt.Sprintf("%d (FIRST: %s)", len(rep.Violations), rep.Violations[0])
+		}
+		t.add(j.label, j.n, rep.Runs, rep.Faulted, rep.Decided, verdict)
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "(PCT-style sampling, depth 3; faulted trials overlay a seeded random adversary — loss/dup/partition/crashes — under which Termination is legitimately not guaranteed)")
+	return err
+}

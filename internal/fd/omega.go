@@ -65,13 +65,17 @@ func (o *OmegaTracker) Initialize() giraf.Payload {
 func (o *OmegaTracker) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
 	msgs := inbox.Round(k)
 	// Min-merge the gossiped tables (absent = 0), as Algorithm 3 line 8.
+	// The first *heartbeat* seeds the table: payloads of a foreign
+	// algorithm family are skipped entirely, wherever they sort.
 	merged := make(map[int]int)
-	for i, m := range msgs {
+	seeded := false
+	for _, m := range msgs {
 		hb, ok := m.(HeartbeatPayload)
 		if !ok {
 			continue
 		}
-		if i == 0 {
+		if !seeded {
+			seeded = true
 			for id, c := range hb.Counts {
 				merged[id] = c
 			}

@@ -463,7 +463,7 @@ func (e *Engine) step(step int) {
 				e.status[i].Decision = d.Value
 				e.status[i].DecidedAt = step
 				if e.trace != nil {
-					e.trace.recordDecision(i, step)
+					e.trace.recordDecision(i, step, d.Value)
 				}
 			}
 			continue

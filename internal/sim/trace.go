@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"anonconsensus/internal/values"
 )
 
 // Trace records who computed which round and which deliveries were timely,
@@ -23,10 +25,18 @@ type Trace struct {
 	timely map[int]map[int]map[int]bool
 	// senders[r] is the set of processes that broadcast a round-r envelope.
 	senders map[int]map[int]bool
-	// decisions[pid] is the step at which pid decided.
-	decisions map[int]int
+	// decisions[pid] is the step and value at which pid decided.
+	decisions map[int]DecisionRecord
 	// claimedSources[r] is the policy's self-reported source, if any.
 	claimedSources map[int]int
+}
+
+// DecisionRecord is one traced decision event.
+type DecisionRecord struct {
+	// Step is the global step at which the process decided.
+	Step int
+	// Value is the decided value.
+	Value values.Value
 }
 
 func newTrace(n int) *Trace {
@@ -35,7 +45,7 @@ func newTrace(n int) *Trace {
 		computed:       make(map[int]map[int]bool),
 		timely:         make(map[int]map[int]map[int]bool),
 		senders:        make(map[int]map[int]bool),
-		decisions:      make(map[int]int),
+		decisions:      make(map[int]DecisionRecord),
 		claimedSources: make(map[int]int),
 	}
 }
@@ -75,7 +85,15 @@ func (t *Trace) recordDelivery(round, sender, receiver, step int) {
 	set[receiver] = true
 }
 
-func (t *Trace) recordDecision(pid, step int) { t.decisions[pid] = step }
+func (t *Trace) recordDecision(pid, step int, v values.Value) {
+	t.decisions[pid] = DecisionRecord{Step: step, Value: v}
+}
+
+// Decision returns the traced decision event of pid, if it decided.
+func (t *Trace) Decision(pid int) (DecisionRecord, bool) {
+	rec, ok := t.decisions[pid]
+	return rec, ok
+}
 
 func (t *Trace) recordClaimedSource(round, pid int) { t.claimedSources[round] = pid }
 
@@ -132,7 +150,19 @@ func (t *Trace) lastCheckableRound() int {
 // round that anyone computed has at least one sender with a timely link to
 // every process that computed the round.
 func (t *Trace) CheckMS() error {
-	last := t.lastCheckableRound()
+	return t.CheckMSThrough(t.lastCheckableRound())
+}
+
+// CheckMSThrough is CheckMS restricted to rounds 1..last: it verifies the
+// moving-source property held for a prefix of the run. The exploration
+// plane uses it to decide whether a run's decisions were cast inside the
+// model — Agreement is only promised while MS holds, and rounds after the
+// final decision cannot influence it, so a run whose source crashes or
+// halts later stays checkable.
+func (t *Trace) CheckMSThrough(last int) error {
+	if max := t.lastCheckableRound(); last > max {
+		last = max
+	}
 	for r := 1; r <= last; r++ {
 		receivers := t.Computed(r)
 		if len(receivers) == 0 {
@@ -188,6 +218,48 @@ func (t *Trace) CheckESS(gst, source int) error {
 		}
 		if !contains(t.TimelySources(r, receivers), source) {
 			return fmt.Errorf("ESS violated in round %d (≥ GST %d): stable source %d not timely to all of %v", r, gst, source, receivers)
+		}
+	}
+	return nil
+}
+
+// CheckIrrevocability verifies that decisions are final, against the final
+// statuses of the same run: every traced decision must match the process's
+// final status (same value, same step, still decided), every finally-decided
+// process must have a traced decision event, and no process may broadcast a
+// later-round envelope after deciding (Algorithm 1: "decide v; halt" stops
+// all further output). The framework enforces this structurally — a Proc
+// halts on its first decision — so a failure here means the engine or an
+// automaton wrapper broke the halt contract, which is exactly what the
+// exploration plane wants to detect rather than assume.
+func (t *Trace) CheckIrrevocability(statuses []ProcStatus) error {
+	for pid, st := range statuses {
+		rec, traced := t.decisions[pid]
+		if !traced {
+			if st.Decided {
+				return fmt.Errorf("irrevocability violated: process %d finished decided on %v with no traced decision event", pid, st.Decision)
+			}
+			continue
+		}
+		switch {
+		case !st.Decided:
+			return fmt.Errorf("irrevocability violated: process %d decided %v at step %d but finished undecided", pid, rec.Value, rec.Step)
+		case st.Decision != rec.Value:
+			return fmt.Errorf("irrevocability violated: process %d decided %v at step %d but finished on %v", pid, rec.Value, rec.Step, st.Decision)
+		case st.DecidedAt != rec.Step:
+			return fmt.Errorf("irrevocability violated: process %d has decision steps %d (trace) vs %d (status)", pid, rec.Step, st.DecidedAt)
+		}
+		// Deciding at step s means the round-(s+1) envelope is never sent.
+		// Report the earliest offending round so the message is a pure
+		// function of the run (map order must not leak into reports).
+		offending := 0
+		for r, snd := range t.senders {
+			if r > rec.Step && snd[pid] && (offending == 0 || r < offending) {
+				offending = r
+			}
+		}
+		if offending > 0 {
+			return fmt.Errorf("irrevocability violated: process %d broadcast a round-%d envelope after deciding at step %d", pid, offending, rec.Step)
 		}
 	}
 	return nil

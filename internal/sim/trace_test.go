@@ -166,3 +166,83 @@ func TestTimelySourcesSenderCountsItself(t *testing.T) {
 		t.Errorf("single-process run must satisfy MS: %v", err)
 	}
 }
+
+func TestCheckIrrevocabilityCleanRun(t *testing.T) {
+	// A real consensus run: traced decisions must reconcile with the final
+	// statuses and no process may broadcast after halting.
+	res, err := Run(Config{
+		N:           3,
+		Automaton:   floodFactory(3),
+		Policy:      Synchronous{},
+		MaxRounds:   10,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.CheckIrrevocability(res.Statuses); err != nil {
+		t.Errorf("clean run flagged: %v", err)
+	}
+	if rec, ok := res.Trace.Decision(0); !ok || rec.Step != res.Statuses[0].DecidedAt || rec.Value != res.Statuses[0].Decision {
+		t.Errorf("traced decision %+v disagrees with status %+v", rec, res.Statuses[0])
+	}
+}
+
+func TestCheckIrrevocabilityUndecidedRun(t *testing.T) {
+	tr := runTraced(t, 3, 8, Synchronous{}, nil)
+	statuses := make([]ProcStatus, 3)
+	if err := tr.CheckIrrevocability(statuses); err != nil {
+		t.Errorf("undecided run flagged: %v", err)
+	}
+}
+
+func TestCheckIrrevocabilityDetectsBreaches(t *testing.T) {
+	// Fabricate traces that break the halt contract in each detectable way.
+	decided := []ProcStatus{{Decided: true, Decision: "v", DecidedAt: 2}}
+	undecided := []ProcStatus{{}}
+
+	fresh := func() *Trace { return newTrace(1) }
+
+	t.Run("missing trace event", func(t *testing.T) {
+		if err := fresh().CheckIrrevocability(decided); err == nil {
+			t.Error("decided status without traced decision passed")
+		}
+	})
+	t.Run("finished undecided", func(t *testing.T) {
+		tr := fresh()
+		tr.recordDecision(0, 2, "v")
+		if err := tr.CheckIrrevocability(undecided); err == nil {
+			t.Error("traced decision with undecided status passed")
+		}
+	})
+	t.Run("value changed", func(t *testing.T) {
+		tr := fresh()
+		tr.recordDecision(0, 2, "other")
+		if err := tr.CheckIrrevocability(decided); err == nil {
+			t.Error("decision value change passed")
+		}
+	})
+	t.Run("step changed", func(t *testing.T) {
+		tr := fresh()
+		tr.recordDecision(0, 3, "v")
+		if err := tr.CheckIrrevocability(decided); err == nil {
+			t.Error("decision step change passed")
+		}
+	})
+	t.Run("broadcast after halt", func(t *testing.T) {
+		tr := fresh()
+		tr.recordDecision(0, 2, "v")
+		tr.recordBroadcast(4, 0)
+		if err := tr.CheckIrrevocability(decided); err == nil {
+			t.Error("post-halt broadcast passed")
+		}
+	})
+	t.Run("all consistent", func(t *testing.T) {
+		tr := fresh()
+		tr.recordDecision(0, 2, "v")
+		tr.recordBroadcast(2, 0)
+		if err := tr.CheckIrrevocability(decided); err != nil {
+			t.Errorf("consistent history flagged: %v", err)
+		}
+	})
+}

@@ -245,9 +245,10 @@ func WithMaxRounds(rounds int) Option {
 
 // WithParallelism bounds the worker pool RunBatch fans instances across;
 // 0 (the default) means GOMAXPROCS. Results are byte-identical at any
-// setting — the knob trades wall-clock for cores, never output. It is
-// batch-level: RunBatch rejects it inside a BatchItem's Opts, and Node
-// sessions, which serialize instances by design, ignore it.
+// setting — the knob trades wall-clock for cores, never output; the same
+// contract holds for ExploreConfig.Parallelism on the exploration plane.
+// It is batch-level: RunBatch rejects it inside a BatchItem's Opts, and
+// Node sessions, which serialize instances by design, ignore it.
 func WithParallelism(workers int) Option {
 	return func(o *options) error {
 		if workers < 0 {
