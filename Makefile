@@ -17,13 +17,33 @@ FUZZTIME  ?= 10s
 # BENCH_THRESHOLD=30) when measuring on quiet, comparable hardware.
 BENCH_THRESHOLD ?= 100
 
-.PHONY: test race build vet bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke
+# Pinned external lint tools, installed on demand via `go run mod@version`
+# (requires network/module-proxy access; the hermetic `make lint` does not).
+STATICCHECK_MOD ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK_MOD ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+.PHONY: test race build vet lint lint-external bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is the hermetic static-analysis plane: go vet plus the detlint
+# determinism & aliasing suite (tools/detlint, driven by cmd/detlint).
+# It needs nothing beyond the standard library and must pass clean on
+# every commit; see TESTING.md "Static-analysis plane" for the analyzer
+# list and the //detlint:<keyword> <reason> escape hatch.
+lint: vet
+	$(GO) run ./cmd/detlint ./...
+
+# lint-external runs the pinned third-party checkers. `go run mod@version`
+# resolves them through the module proxy, so unlike `make lint` this
+# target needs network access the first time; CI runs it on every push.
+lint-external:
+	$(GO) run $(STATICCHECK_MOD) ./...
+	$(GO) run $(GOVULNCHECK_MOD) ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,135 @@
+// Command detlint is the multichecker driver for the determinism &
+// aliasing analyzer suite under tools/detlint. It loads the packages
+// matched by its arguments (default ./...), runs every analyzer, prints
+// findings vet-style as file:line:col: message [analyzer], and exits
+// non-zero if anything was found.
+//
+// Usage:
+//
+//	go run ./cmd/detlint [-list] [-run name,name] [patterns...]
+//
+// The suite and the exemption policy are documented in
+// tools/detlint/detcfg and TESTING.md ("Static-analysis plane").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"anonconsensus/tools/detlint/analysis"
+	"anonconsensus/tools/detlint/load"
+	"anonconsensus/tools/detlint/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	if *run != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*run, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "detlint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := Lint(analyzers, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// Lint loads patterns, runs the analyzers over every loaded package and
+// returns the rendered findings sorted by position. Type-check errors in
+// a target package are returned as an error: analysis over a broken tree
+// would under-report.
+func Lint(analyzers []*analysis.Analyzer, patterns []string) ([]string, error) {
+	pkgs, err := load.Packages(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	type finding struct {
+		file      string
+		line, col int
+		text      string
+	}
+	var found []finding
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s does not type-check: %v", pkg.PkgPath, pkg.TypeErrors[0])
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				found = append(found, finding{
+					file: pos.Filename,
+					line: pos.Line,
+					col:  pos.Column,
+					text: fmt.Sprintf("%s: %s [%s]", pos, d.Message, a.Name),
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i], found[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.text < b.text
+	})
+	findings := make([]string, len(found))
+	for i, f := range found {
+		findings[i] = f.text
+	}
+	return findings, nil
+}

@@ -94,4 +94,14 @@
 // profiles) is deprecated: those are compatibility aliases over
 // internal/env, which is where new environments and fault dimensions are
 // added.
+//
+// # Verification
+//
+// TESTING.md maps the five test planes — unit, property, golden-parity,
+// exploration, and static analysis — to make targets and CI jobs. The
+// static-analysis plane (make lint) runs the tools/detlint determinism &
+// aliasing suite: deterministic packages are machine-checked against map
+// iteration order, wall clocks, global randomness, aliased slice/map
+// returns and untracked goroutines, with //detlint:<keyword> <reason>
+// comments as the audited escape hatch.
 package anonconsensus

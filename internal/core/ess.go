@@ -222,6 +222,8 @@ func (a *ESS) Val() values.Value { return a.val }
 
 // History returns the process's proposal history (shared slice; treat as
 // read-only).
+//
+//detlint:aliased History is append-only and read-only by contract; sharing keeps the per-round leader check alloc-free
 func (a *ESS) History() values.History { return a.history }
 
 // IsLeader reports whether the process considered itself a leader at its

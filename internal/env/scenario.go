@@ -3,9 +3,11 @@ package env
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"maps"
 	"strconv"
 	"strings"
+
+	"anonconsensus/internal/ordered"
 )
 
 // ErrAllCrashed is returned by Scenario.Validate when the crash schedule
@@ -183,14 +185,16 @@ func (s *Scenario) Validate(n int) error {
 			return fmt.Errorf("env: partition %d cut %d outside [1,%d)", i, p.Cut, n)
 		}
 	}
-	for pid, round := range s.Crashes {
+	// Sorted view so the reported entry is deterministic when several are
+	// invalid.
+	for _, pid := range ordered.Keys(s.Crashes) {
 		if pid < 0 {
 			return fmt.Errorf("env: crash schedule names negative process %d", pid)
 		}
 		if n > 0 && pid >= n {
 			return fmt.Errorf("env: crash schedule names process %d outside [0,%d)", pid, n)
 		}
-		if round < 1 {
+		if round := s.Crashes[pid]; round < 1 {
 			return fmt.Errorf("env: crash round %d for process %d (must be ≥ 1)", round, pid)
 		}
 	}
@@ -218,10 +222,7 @@ func (s *Scenario) Clone() *Scenario {
 	}
 	out := &Scenario{Seed: s.Seed, LossPct: s.LossPct, DupPct: s.DupPct}
 	if s.Crashes != nil {
-		out.Crashes = make(map[int]int, len(s.Crashes))
-		for pid, r := range s.Crashes {
-			out.Crashes[pid] = r
-		}
+		out.Crashes = maps.Clone(s.Crashes)
 	}
 	if s.Partitions != nil {
 		out.Partitions = append([]Partition(nil), s.Partitions...)
@@ -250,12 +251,7 @@ func (s *Scenario) Encode() string {
 	for _, p := range s.Partitions {
 		parts = append(parts, fmt.Sprintf("part=%d:%d:%d", p.From, p.Until, p.Cut))
 	}
-	pids := make([]int, 0, len(s.Crashes))
-	for pid := range s.Crashes {
-		pids = append(pids, pid)
-	}
-	sort.Ints(pids)
-	for _, pid := range pids {
+	for _, pid := range ordered.Keys(s.Crashes) {
 		parts = append(parts, fmt.Sprintf("crash=%d@%d", pid, s.Crashes[pid]))
 	}
 	return strings.Join(parts, ",")

@@ -1,10 +1,9 @@
 package explore
 
 import (
-	"sort"
-
 	"anonconsensus/internal/core"
 	"anonconsensus/internal/env"
+	"anonconsensus/internal/ordered"
 	"anonconsensus/internal/sim"
 )
 
@@ -117,10 +116,5 @@ func crashPids(sc *env.Scenario) []int {
 	if sc == nil {
 		return nil
 	}
-	out := make([]int, 0, len(sc.Crashes))
-	for pid := range sc.Crashes {
-		out = append(out, pid)
-	}
-	sort.Ints(out)
-	return out
+	return ordered.Keys(sc.Crashes)
 }

@@ -59,6 +59,7 @@ func forTrials(n int, fn func(i int) error) error {
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
+			//detlint:goroutine forTrials is the expt arm of the RunBatch pool discipline: workers write caller-owned slots, collection order is the sequential loop's
 			go func() {
 				defer wg.Done()
 				for i := range idx {

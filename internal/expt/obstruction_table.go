@@ -70,6 +70,7 @@ func runOFTrial(p int, seed int64) (attempts int, agreed bool) {
 	for i := 0; i < p; i++ {
 		i := i
 		wg.Add(1)
+		//detlint:goroutine T11 measures real contention between racing proposers; its columns are excluded from the byte-identity pins
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(ofTrialSeed(seed, i)))
@@ -107,6 +108,7 @@ func runOFTrial(p int, seed int64) (attempts int, agreed bool) {
 				if backoff == 0 {
 					runtime.Gosched()
 				} else {
+					//detlint:wallclock randomized real-time backoff is the obstruction-freedom protocol under test (T11, excluded from byte-identity pins)
 					time.Sleep(time.Duration(backoff) * time.Microsecond)
 				}
 			}

@@ -139,16 +139,20 @@ func runT8(w io.Writer, quick bool) error {
 	// Prop 1: register from in-memory weak-set.
 	var ws weakset.Memory
 	reg := register.NewFromWeakSet(&ws)
-	start := time.Now()
-	for i := 0; i < opsN; i++ {
-		if err := reg.Write(values.Num(int64(i))); err != nil {
-			return err
+	el, err := walltime(func() error {
+		for i := 0; i < opsN; i++ {
+			if err := reg.Write(values.Num(int64(i))); err != nil {
+				return err
+			}
+			if _, err := reg.Read(); err != nil {
+				return err
+			}
 		}
-		if _, err := reg.Read(); err != nil {
-			return err
-		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	el := time.Since(start)
 	t.add("Prop1 reg←weakset (memory)", 2*opsN, el.Round(time.Microsecond), el.Nanoseconds()/int64(2*opsN))
 
 	// Prop 2: weak-set from SWMR registers over an ABD quorum cluster.
@@ -157,16 +161,20 @@ func runT8(w io.Writer, quick bool) error {
 	defer cluster.Close()
 	swmr := weakset.NewFromSWMR([]weakset.Slot{cluster.Writer(1)})
 	h := swmr.Handle(0)
-	start = time.Now()
-	for i := 0; i < abdOps; i++ {
-		if err := h.Add(values.Num(int64(i))); err != nil {
-			return err
+	el, err = walltime(func() error {
+		for i := 0; i < abdOps; i++ {
+			if err := h.Add(values.Num(int64(i))); err != nil {
+				return err
+			}
+			if _, err := h.Get(); err != nil {
+				return err
+			}
 		}
-		if _, err := h.Get(); err != nil {
-			return err
-		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	el = time.Since(start)
 	t.add("Prop2 weakset←SWMR (over ABD n=3)", 2*abdOps, el.Round(time.Microsecond), el.Nanoseconds()/int64(2*abdOps))
 
 	// Prop 3: weak-set from per-value MWMR flags.
@@ -175,16 +183,20 @@ func runT8(w io.Writer, quick bool) error {
 		domain[i] = values.Num(int64(i))
 	}
 	fin := weakset.NewFromFinite(domain, func(values.Value) weakset.Slot { return &register.Memory{} })
-	start = time.Now()
-	for i := 0; i < opsN; i++ {
-		if err := fin.Add(domain[i%len(domain)]); err != nil {
-			return err
+	el, err = walltime(func() error {
+		for i := 0; i < opsN; i++ {
+			if err := fin.Add(domain[i%len(domain)]); err != nil {
+				return err
+			}
+			if _, err := fin.Get(); err != nil {
+				return err
+			}
 		}
-		if _, err := fin.Get(); err != nil {
-			return err
-		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	el = time.Since(start)
 	t.add("Prop3 weakset←MWMR flags (|V|=64)", 2*opsN, el.Round(time.Microsecond), el.Nanoseconds()/int64(2*opsN))
 	return t.write(w)
 }
@@ -201,18 +213,21 @@ func runT9(w io.Writer, quick bool) error {
 	t := newTable("n", "emulated rounds", "wall time", "MS property", "decisions agree")
 	for _, n := range ns {
 		props := core.SplitProposals(n, 2)
-		start := time.Now()
-		res, err := msemu.Run(msemu.Config{
-			N:         n,
-			Automaton: func(i int) giraf.Automaton { return core.NewES(props[i]) },
-			Codec:     msemu.SetCodec{},
-			Set:       &weakset.Memory{},
-			MaxRounds: rounds,
+		var res *msemu.Result
+		el, err := walltime(func() error {
+			var err error
+			res, err = msemu.Run(msemu.Config{
+				N:         n,
+				Automaton: func(i int) giraf.Automaton { return core.NewES(props[i]) },
+				Codec:     msemu.SetCodec{},
+				Set:       &weakset.Memory{},
+				MaxRounds: rounds,
+			})
+			return err
 		})
 		if err != nil {
 			return err
 		}
-		el := time.Since(start)
 		if len(res.Errs) > 0 {
 			return fmt.Errorf("T9 n=%d: %v", n, res.Errs)
 		}
@@ -221,6 +236,7 @@ func runT9(w io.Writer, quick bool) error {
 			msOK = err.Error()
 		}
 		seen := values.NewSet()
+		//detlint:ordered set insertion is commutative and the set renders canonically
 		for _, v := range res.Decisions {
 			seen.Add(v)
 		}

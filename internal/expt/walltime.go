@@ -1,0 +1,18 @@
+package expt
+
+import "time"
+
+// walltime measures f's real elapsed time. The substrate tables (T8, T9)
+// and the obstruction-freedom table (T11) report what operations cost on
+// actual hardware, so their wall-time columns are inherently
+// non-reproducible and are excluded from the byte-identity pins (see the
+// deterministic-table list in expt_test.go). Funneling every measurement
+// through this helper keeps the experiment plane's wall-clock reads in
+// one audited place instead of scattered over the table renderers.
+func walltime(f func() error) (time.Duration, error) {
+	//detlint:wallclock audited measurement helper; wall-time columns are excluded from the byte-identity pins
+	start := time.Now()
+	err := f()
+	//detlint:wallclock paired read for the measurement above
+	return time.Since(start), err
+}

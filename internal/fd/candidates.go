@@ -1,6 +1,10 @@
 package fd
 
-import "sort"
+import (
+	"sort"
+
+	"anonconsensus/internal/ordered"
+)
 
 // The candidate Σ emulators below are the natural attempts one would make
 // in a known network: all of them are disproved by the Prop. 4 harness,
@@ -35,12 +39,11 @@ func (c *TimeoutQuorum) Round(k int, heard []int) []int {
 	}
 	c.lastSeen[c.id] = k
 	var out []int
-	for j, last := range c.lastSeen {
-		if k-last < c.Window {
+	for _, j := range ordered.Keys(c.lastSeen) {
+		if k-c.lastSeen[j] < c.Window {
 			out = append(out, j)
 		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -78,15 +81,22 @@ func (c *MajorityStick) Round(k int, heard []int) []int {
 	c.lastSeen[c.id] = k
 	type cand struct{ id, last int }
 	cands := make([]cand, 0, c.n)
-	for j, last := range c.lastSeen {
-		cands = append(cands, cand{id: j, last: last})
+	for _, j := range ordered.Keys(c.lastSeen) {
+		cands = append(cands, cand{id: j, last: c.lastSeen[j]})
 	}
-	// Most recently heard first; self wins ties.
+	// Most recently heard first; self wins ties, then the smaller ID. The
+	// tiebreaks make this a strict total order: which equal-recency
+	// processes survive the majority cut below must not depend on sort
+	// input order (it used to follow map iteration order — a latent
+	// nondeterminism detlint surfaced).
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].last != cands[b].last {
 			return cands[a].last > cands[b].last
 		}
-		return cands[a].id == c.id
+		if (cands[a].id == c.id) != (cands[b].id == c.id) {
+			return cands[a].id == c.id
+		}
+		return cands[a].id < cands[b].id
 	})
 	majority := c.n/2 + 1
 	var out []int
@@ -124,10 +134,5 @@ func (c *EagerSelf) Round(k int, heard []int) []int {
 	for _, j := range heard {
 		set[j] = true
 	}
-	out := make([]int, 0, len(set))
-	for j := range set {
-		out = append(out, j)
-	}
-	sort.Ints(out)
-	return out
+	return ordered.Keys(set)
 }

@@ -2,10 +2,11 @@ package fd
 
 import (
 	"fmt"
-	"sort"
+	"maps"
 	"strings"
 
 	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/ordered"
 )
 
 // HeartbeatPayload is the wire payload of the ID-based Ω tracker: the
@@ -22,11 +23,7 @@ var _ giraf.Payload = HeartbeatPayload{}
 
 // PayloadKey implements giraf.Payload with a canonical counts encoding.
 func (p HeartbeatPayload) PayloadKey() string {
-	ids := make([]int, 0, len(p.Counts))
-	for id := range p.Counts {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
+	ids := ordered.Keys(p.Counts)
 	var b strings.Builder
 	fmt.Fprintf(&b, "hb!%d!", p.ID)
 	for _, id := range ids {
@@ -76,11 +73,10 @@ func (o *OmegaTracker) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.D
 		}
 		if !seeded {
 			seeded = true
-			for id, c := range hb.Counts {
-				merged[id] = c
-			}
+			maps.Copy(merged, hb.Counts)
 			continue
 		}
+		//detlint:ordered per-key min-merge: each entry is kept, lowered or deleted independently
 		for id, c := range merged {
 			hc, present := hb.Counts[id]
 			if !present {
@@ -97,17 +93,14 @@ func (o *OmegaTracker) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.D
 		}
 	}
 	o.counts = merged
-	out := make(map[int]int, len(merged))
-	for id, c := range merged {
-		out[id] = c
-	}
-	return HeartbeatPayload{ID: o.id, Counts: out}, giraf.Decision{}
+	return HeartbeatPayload{ID: o.id, Counts: maps.Clone(merged)}, giraf.Decision{}
 }
 
 // Leader returns the current leader estimate: maximal count, ties to the
 // smaller ID. Before any heartbeat it returns the process itself.
 func (o *OmegaTracker) Leader() int {
 	best, bestCount, found := o.id, -1, false
+	//detlint:ordered argmax under the strict total order (count desc, id asc) is visit-order-independent
 	for id, c := range o.counts {
 		if c > bestCount || (c == bestCount && id < best) {
 			best, bestCount, found = id, c, true

@@ -255,7 +255,12 @@ func (p *Proc) Round(k int) []Payload {
 }
 
 // Fresh implements Inbox: payloads added to any round's set since the last
-// end-of-round.
+// end-of-round. The returned slice aliases framework state: it is valid
+// until the next Deliver/EndOfRound and must be treated as read-only —
+// automata consume it within the round, so no copy is taken on this hot
+// path.
+//
+//detlint:aliased read-only view consumed within the round; copying would cost an alloc per delivery on the hot path
 func (p *Proc) Fresh() []Payload { return p.fresh }
 
 // CurrentRound implements Inbox: the round the process is in (k_i).
@@ -374,6 +379,7 @@ func (p *Proc) InboxRounds() int { return len(p.inbox) }
 // like Algorithm 4 but means compaction must not be combined with
 // exactly-once delivery accounting.
 func (p *Proc) CompactBefore(k int) {
+	//detlint:ordered per-entry recycle+delete; spares are interchangeable (cleared before reuse, only warm capacity differs)
 	for round, ri := range p.inbox {
 		if round < k {
 			ri.recycle()
@@ -396,6 +402,7 @@ func (p *Proc) Reset(aut Automaton) {
 	p.decision = Decision{}
 	p.lastOwn = nil
 	p.delivered = 0
+	//detlint:ordered per-entry recycle+delete; spares are interchangeable (cleared before reuse, only warm capacity differs)
 	for round, ri := range p.inbox {
 		ri.recycle()
 		p.spare = append(p.spare, ri)

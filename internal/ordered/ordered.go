@@ -1,0 +1,28 @@
+// Package ordered provides deterministic views of Go maps for the
+// packages bound by the determinism contract (see tools/detlint).
+//
+// Go randomizes map iteration order on purpose; everywhere a
+// deterministic package needs per-entry data out of a map it iterates
+// one of these sorted views instead of ranging the map directly. The one
+// raw map range lives here, behind the package's own detlint annotation,
+// so the escape hatch has a single audited home instead of one per call
+// site.
+package ordered
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns m's keys in ascending order — the canonical iteration
+// order for deterministic code. A nil or empty map yields an empty,
+// non-nil slice of capacity zero.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	out := make([]K, 0, len(m))
+	//detlint:ordered keys are sorted before return, so callers observe one canonical order
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,21 @@
+package ordered
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	for i := 0; i < 50; i++ { // map order is randomized per iteration
+		if got := Keys(m); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+			t.Fatalf("Keys = %v, want [1 2 3]", got)
+		}
+	}
+	if got := Keys(map[string]int(nil)); got == nil || len(got) != 0 {
+		t.Fatalf("Keys(nil) = %#v, want empty non-nil slice", got)
+	}
+	if got := Keys(map[string]bool{"x": true}); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}

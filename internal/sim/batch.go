@@ -53,6 +53,7 @@ func RunBatch(ctx context.Context, cfgs []Config, opts BatchOpts) ([]*Result, er
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//detlint:goroutine this IS the RunBatch pool: workers share nothing and write submission-order slots, so output is parallelism-invariant
 		go func() {
 			defer wg.Done()
 			runBatchWorker(ctx, cfgs, results, errs, idx)

@@ -23,6 +23,7 @@ import (
 
 	"anonconsensus/internal/env"
 	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/ordered"
 	"anonconsensus/internal/values"
 )
 
@@ -76,11 +77,13 @@ func (c *Config) validate() error {
 	if c.MaxRounds <= 0 {
 		return fmt.Errorf("sim: MaxRounds = %d, must be positive", c.MaxRounds)
 	}
-	for pid, step := range c.Crashes {
+	// Sorted view so the reported entry is deterministic when several are
+	// invalid.
+	for _, pid := range ordered.Keys(c.Crashes) {
 		if pid < 0 || pid >= c.N {
 			return fmt.Errorf("sim: crash schedule names process %d outside [0,%d)", pid, c.N)
 		}
-		if step < 0 {
+		if step := c.Crashes[pid]; step < 0 {
 			return fmt.Errorf("sim: crash step %d for process %d is negative", step, pid)
 		}
 	}

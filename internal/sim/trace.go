@@ -2,8 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
+	"anonconsensus/internal/ordered"
 	"anonconsensus/internal/values"
 )
 
@@ -99,7 +99,7 @@ func (t *Trace) recordClaimedSource(round, pid int) { t.claimedSources[round] = 
 
 // Computed returns the processes that executed compute(round), sorted.
 func (t *Trace) Computed(round int) []int {
-	return sortedKeys(t.computed[round])
+	return ordered.Keys(t.computed[round])
 }
 
 // ClaimedSource returns the policy-claimed source for a round.
@@ -113,7 +113,7 @@ func (t *Trace) ClaimedSource(round int) (int, bool) {
 // reached). This is the set of processes with a timely link in that round.
 func (t *Trace) TimelySources(round int, receivers []int) []int {
 	var out []int
-	for sender := range t.senders[round] {
+	for _, sender := range ordered.Keys(t.senders[round]) {
 		got := t.timely[round][sender]
 		ok := true
 		for _, r := range receivers {
@@ -129,7 +129,6 @@ func (t *Trace) TimelySources(round int, receivers []int) []int {
 			out = append(out, sender)
 		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -138,6 +137,7 @@ func (t *Trace) TimelySources(round int, receivers []int) []int {
 // computed) carries no environment obligations.
 func (t *Trace) lastCheckableRound() int {
 	last := 0
+	//detlint:ordered max over keys — the result is independent of visit order
 	for r := range t.computed {
 		if r > last {
 			last = r
@@ -189,7 +189,9 @@ func (t *Trace) CheckES(gst int) error {
 			continue
 		}
 		timely := t.TimelySources(r, receivers)
-		for sender := range t.senders[r] {
+		// Sorted view so a violation report names the smallest offending
+		// sender, not a map-order-dependent one.
+		for _, sender := range ordered.Keys(t.senders[r]) {
 			if !contains(timely, sender) {
 				return fmt.Errorf("ES violated in round %d (≥ GST %d): sender %d not timely to all of %v", r, gst, sender, receivers)
 			}
@@ -253,6 +255,7 @@ func (t *Trace) CheckIrrevocability(statuses []ProcStatus) error {
 		// Report the earliest offending round so the message is a pure
 		// function of the run (map order must not leak into reports).
 		offending := 0
+		//detlint:ordered min over keys — the earliest offending round is order-independent
 		for r, snd := range t.senders {
 			if r > rec.Step && snd[pid] && (offending == 0 || r < offending) {
 				offending = r
@@ -263,15 +266,6 @@ func (t *Trace) CheckIrrevocability(statuses []ProcStatus) error {
 		}
 	}
 	return nil
-}
-
-func sortedKeys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }
 
 func maxInt(a, b int) int {

@@ -2,8 +2,9 @@ package values
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"anonconsensus/internal/ordered"
 )
 
 // Counters is the per-process table C of Algorithm 3: a counter for every
@@ -62,6 +63,7 @@ func (c *Counters) Set(h History, n int) { c.set(h, n) }
 // Clone returns an independent copy of c.
 func (c Counters) Clone() Counters {
 	out := Counters{entries: make(map[string]counterEntry, len(c.entries))}
+	//detlint:ordered map copy; the resulting table is visit-order-independent
 	for k, e := range c.entries {
 		out.entries[k] = e
 	}
@@ -76,6 +78,7 @@ func MinMerge(msgs []Counters) Counters {
 	if len(msgs) == 0 {
 		return out
 	}
+	//detlint:ordered per-key min across msgs; entries are independent, so the merged table is visit-order-independent
 	for k, e := range msgs[0].entries {
 		minN := e.n
 		for _, m := range msgs[1:] {
@@ -99,6 +102,7 @@ func MinMerge(msgs []Counters) Counters {
 // C[h] := 1 + max{ C[H] | H is a (non-strict) prefix of h }.
 func (c *Counters) Bump(h History) {
 	best := 0
+	//detlint:ordered max over the prefix set is visit-order-independent
 	for _, e := range c.entries {
 		if e.hist.IsPrefixOf(h) && e.n > best {
 			best = e.n
@@ -112,6 +116,7 @@ func (c *Counters) Bump(h History) {
 // history is trivially maximal.
 func (c Counters) IsMaximal(h History) bool {
 	own := c.Get(h)
+	//detlint:ordered existential check (any counter above own); visit order cannot change the verdict
 	for _, e := range c.entries {
 		if e.n > own {
 			return false
@@ -125,6 +130,7 @@ func (c Counters) IsMaximal(h History) bool {
 // it returns (nil, 0).
 func (c Counters) MaxEntries() ([]History, int) {
 	best := 0
+	//detlint:ordered max over counters is visit-order-independent
 	for _, e := range c.entries {
 		if e.n > best {
 			best = e.n
@@ -133,13 +139,12 @@ func (c Counters) MaxEntries() ([]History, int) {
 	if best == 0 {
 		return nil, 0
 	}
-	keys := make([]string, 0, len(c.entries))
-	for k, e := range c.entries {
-		if e.n == best {
+	var keys []string
+	for _, k := range ordered.Keys(c.entries) {
+		if c.entries[k].n == best {
 			keys = append(keys, k)
 		}
 	}
-	sort.Strings(keys)
 	out := make([]History, len(keys))
 	for i, k := range keys {
 		out[i] = c.entries[k].hist
@@ -149,11 +154,7 @@ func (c Counters) MaxEntries() ([]History, int) {
 
 // Histories returns all stored histories in canonical order.
 func (c Counters) Histories() []History {
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := ordered.Keys(c.entries)
 	out := make([]History, len(keys))
 	for i, k := range keys {
 		out[i] = c.entries[k].hist
@@ -164,11 +165,7 @@ func (c Counters) Histories() []History {
 // Key returns the canonical encoding of the table. Two tables have equal
 // keys iff they represent the same abstract counter function.
 func (c Counters) Key() string {
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := ordered.Keys(c.entries)
 	var b strings.Builder
 	b.WriteString("C")
 	for _, k := range keys {
@@ -180,11 +177,7 @@ func (c Counters) Key() string {
 
 // String implements fmt.Stringer.
 func (c Counters) String() string {
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := ordered.Keys(c.entries)
 	parts := make([]string, 0, len(keys))
 	for _, k := range keys {
 		e := c.entries[k]

@@ -88,6 +88,7 @@ func (s Set) ensureCanon() *canonSet {
 		return cs
 	}
 	sorted := make([]Value, 0, len(s.m))
+	//detlint:ordered collected values are canonically sorted by Value.Less on the next line
 	for v := range s.m {
 		sorted = append(sorted, v)
 	}
@@ -140,6 +141,7 @@ func (s *Set) Add(v Value) {
 
 // AddAll inserts every value of t into s.
 func (s *Set) AddAll(t Set) {
+	//detlint:ordered set insertion is commutative; the union is visit-order-independent
 	for v := range t.m {
 		s.Add(v)
 	}
@@ -159,6 +161,7 @@ func (s *Set) remove(v Value) {
 // keeps Key/Fingerprint O(1).
 func (s Set) Clone() Set {
 	c := Set{m: make(map[Value]struct{}, len(s.m)), c: &setCtl{}}
+	//detlint:ordered map copy; the resulting set is visit-order-independent
 	for v := range s.m {
 		c.m[v] = struct{}{}
 	}
@@ -182,6 +185,7 @@ func (s Set) Intersect(t Set) Set {
 		small, large = large, small
 	}
 	out := NewSet()
+	//detlint:ordered membership filter into a set is commutative
 	for v := range small.m {
 		if large.Contains(v) {
 			out.Add(v)
@@ -235,6 +239,7 @@ func (s Set) Equal(t Set) bool {
 	if sc, tc := s.loadCanon(), t.loadCanon(); sc != nil && tc != nil {
 		return sc.fp == tc.fp
 	}
+	//detlint:ordered universally quantified membership check; visit order cannot change the verdict
 	for v := range s.m {
 		if !t.Contains(v) {
 			return false
@@ -248,6 +253,7 @@ func (s Set) SubsetOf(t Set) bool {
 	if s.Len() > t.Len() {
 		return false
 	}
+	//detlint:ordered universally quantified membership check; visit order cannot change the verdict
 	for v := range s.m {
 		if !t.Contains(v) {
 			return false
@@ -275,6 +281,7 @@ func (s Set) Max() (Value, bool) {
 		best  Value
 		found bool
 	)
+	//detlint:ordered argmax under the strict total order Value.Less is visit-order-independent
 	for v := range s.m {
 		if !found || best.Less(v) {
 			best, found = v, true

@@ -75,6 +75,8 @@ func (p *MSProc) EnqueueAdd(v values.Value) {
 func (p *MSProc) Snapshot() values.Set { return p.proposed.Clone() }
 
 // Records returns the add records (shared slice; read-only).
+//
+//detlint:aliased read-only by contract; the T7 table reads records after the run, when the slice is quiescent
 func (p *MSProc) Records() []AddRecord { return p.records }
 
 // Blocked reports whether an add is in progress.

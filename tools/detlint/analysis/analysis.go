@@ -1,0 +1,65 @@
+// Package analysis is a dependency-free mirror of the subset of
+// golang.org/x/tools/go/analysis that detlint's analyzers use.
+//
+// The build environment for this repository is hermetic: the Go module
+// cache contains only the standard library, so the real x/tools module
+// cannot be fetched. Rather than give up the vet-style analyzer shape,
+// detlint vendors this minimal shim with the same field names and the
+// same Run signature. If the x/tools dependency ever becomes available,
+// each analyzer ports to the real multichecker by swapping this import
+// for golang.org/x/tools/go/analysis and deleting nothing else.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass: a name for reporting
+// and command-line selection, user-facing documentation, and the Run
+// function executed once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a single package. It reports findings
+	// via pass.Report/Reportf and returns an optional result value
+	// (unused by detlint's driver, kept for go/analysis parity).
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver (or test harness)
+	// installs it; analyzers must not assume anything about ordering of
+	// delivery versus other analyzers.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

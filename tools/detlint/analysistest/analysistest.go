@@ -1,0 +1,132 @@
+// Package analysistest runs a detlint analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the x/tools
+// package of the same name.
+//
+// Fixtures live in GOPATH-style trees: testdata/src/<importPath>/*.go.
+// The import path is declared by the directory layout, so a fixture can
+// impersonate a deterministic package (testdata/src/anonconsensus/
+// internal/sim) or an exempt live plane (…/internal/anonnet) and the
+// analyzer's package classification behaves exactly as it would on the
+// real tree. Expected findings are written on the offending line:
+//
+//	start := time.Now() // want `wall clock`
+//
+// Each backquoted string is a regexp that must match one diagnostic
+// reported on that line; diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test. A fixture with no want
+// comments is a negative test: the analyzer must stay silent.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"anonconsensus/tools/detlint/analysis"
+	"anonconsensus/tools/detlint/load"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads each import path from testdata/src and applies the analyzer,
+// comparing diagnostics to the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		t.Run(path, func(t *testing.T) {
+			runOne(t, testdata, a, path)
+		})
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(importPath))
+	pkg, err := load.Dir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", terr)
+	}
+	if t.Failed() {
+		return
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	// Collect want expectations per (file, line).
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posString(pos), m[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	// Match each diagnostic to an unconsumed want on its line.
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(pos), d.Message)
+		}
+	}
+	var unmet []string
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				unmet = append(unmet, fmt.Sprintf("%s:%d: no diagnostic matching `%s`", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(unmet)
+	for _, msg := range unmet {
+		t.Error(msg)
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,26 @@
+package detcfg
+
+import (
+	"go/token"
+
+	"anonconsensus/tools/detlint/analysis"
+)
+
+// Suppressed reports whether a finding at pos is covered by a keyword
+// directive. A directive with an empty reason suppresses the underlying
+// finding too — so the run reports one actionable error, not two — but
+// is flagged itself: the escape hatch is only valid with a reason on
+// record.
+func Suppressed(pass *analysis.Pass, ex *Exemptions, pos token.Pos, keyword string) bool {
+	d, ok := ex.At(pos, keyword)
+	if !ok {
+		return false
+	}
+	if d.Reason == "" {
+		// Report at the annotated code, not the comment: a bare //detlint:
+		// line cannot host a // want assertion, and the finding should sit
+		// where the fix (writing the reason) is decided anyway.
+		pass.Reportf(pos, "detlint:%s directive requires a reason", keyword)
+	}
+	return true
+}

@@ -1,0 +1,71 @@
+// Package globalrand forbids the process-global math/rand state in every
+// internal package. Randomness must flow through an explicitly seeded,
+// threaded *rand.Rand (the splitmix-mixed seeding discipline from the
+// trial plane) so that every draw replays; rand.Intn and friends share
+// one unseeded global generator whose stream depends on everything else
+// in the process. Constructors (rand.New, rand.NewSource, …) stay legal
+// — they are how the threaded discipline starts.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"anonconsensus/tools/detlint/analysis"
+	"anonconsensus/tools/detlint/detcfg"
+)
+
+// constructors are the math/rand and math/rand/v2 top-level functions
+// that build explicit generators rather than touching global state.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func randPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand functions in internal packages\n\n" +
+		"The global generator is unseeded shared state; draws do not replay.\n" +
+		"Thread a seeded *rand.Rand instead, or annotate\n" +
+		"//detlint:globalrand <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !detcfg.Internal(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ex := detcfg.Collect(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkg(fn.Pkg().Path()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on *rand.Rand etc. — threaded state, fine
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			if detcfg.Suppressed(pass, ex, sel.Pos(), "globalrand") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "global randomness: %s.%s draws from the process-global generator; thread a seeded *rand.Rand or annotate //detlint:globalrand <reason>",
+				fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"anonconsensus/tools/detlint/analysistest"
+	"anonconsensus/tools/detlint/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer,
+		"anonconsensus/internal/env", // internal: seeded violations
+		"anonconsensus/tools/helper", // outside internal/: silent
+	)
+}

@@ -1,0 +1,41 @@
+// Package envfix seeds globalrand violations inside an internal package
+// path.
+package envfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Flagged: draws from the process-global generator.
+func Draw(n int) int {
+	return rand.Intn(n) // want `global randomness: math/rand.Intn`
+}
+
+func DrawV2() uint64 {
+	return randv2.Uint64() // want `global randomness: math/rand/v2.Uint64`
+}
+
+func Reseed(seed int64) {
+	rand.Seed(seed) // want `global randomness: math/rand.Seed`
+}
+
+// Not flagged: the threaded, seeded discipline — explicit generators and
+// their methods.
+func Threaded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Not flagged: an annotated draw with the reason on record.
+func Jitter() float64 {
+	//detlint:globalrand demo-only jitter, never reaches deterministic output
+	return rand.Float64()
+}
+
+// A reasonless directive keeps the line suppressed but is itself an
+// error.
+func JitterBad() float64 {
+	//detlint:globalrand
+	return rand.Float64() // want `requires a reason`
+}

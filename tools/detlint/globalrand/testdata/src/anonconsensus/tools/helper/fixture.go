@@ -1,0 +1,10 @@
+// Package helper is the negative fixture: globalrand's scope is
+// internal/ packages, so a tools/ package may use the global generator
+// (e.g. for throwaway jitter in a developer utility).
+package helper
+
+import "math/rand"
+
+func Jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,46 @@
+// Package goescape flags bare go statements in deterministic packages.
+// In those packages concurrency is only legal through the sim.RunBatch
+// worker pool, whose submission-order collection keeps output
+// byte-identical at any parallelism; an ad-hoc goroutine reintroduces
+// scheduler-ordered effects the pins cannot see. The pool's own
+// implementation (and the expt trial fan-out built on the same
+// discipline) carries //detlint:goroutine <reason> annotations.
+package goescape
+
+import (
+	"go/ast"
+
+	"anonconsensus/tools/detlint/analysis"
+	"anonconsensus/tools/detlint/detcfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goescape",
+	Doc: "flag bare go statements in deterministic packages\n\n" +
+		"Concurrency in deterministic packages must go through the\n" +
+		"sim.RunBatch worker pool; annotate //detlint:goroutine <reason>\n" +
+		"on pool-discipline implementations.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !detcfg.Deterministic(path) || detcfg.LiveExempt(path) {
+		return nil, nil
+	}
+	ex := detcfg.Collect(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if detcfg.Suppressed(pass, ex, gs.Go, "goroutine") {
+				return true
+			}
+			pass.Reportf(gs.Go, "bare go statement in deterministic package %s: route concurrency through the sim.RunBatch pool or annotate //detlint:goroutine <reason>", path)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package goescape_test
+
+import (
+	"testing"
+
+	"anonconsensus/tools/detlint/analysistest"
+	"anonconsensus/tools/detlint/goescape"
+)
+
+func TestGoEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", goescape.Analyzer,
+		"anonconsensus/internal/sim",     // deterministic: seeded violations
+		"anonconsensus/internal/anonnet", // live plane: exempt by config
+	)
+}

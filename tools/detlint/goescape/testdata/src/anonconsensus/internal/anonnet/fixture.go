@@ -1,0 +1,9 @@
+// Package anonnetfix is the negative fixture: the live planes run one
+// goroutine per link by design, so goescape must stay silent.
+package anonnetfix
+
+func PerLink(links []func()) {
+	for _, link := range links {
+		go link()
+	}
+}

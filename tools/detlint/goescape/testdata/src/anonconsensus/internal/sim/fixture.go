@@ -1,0 +1,29 @@
+// Package simfix seeds goescape violations inside a deterministic
+// package path.
+package simfix
+
+// Flagged: an ad-hoc goroutine reintroduces scheduler order.
+func FanOut(fns []func()) {
+	for _, fn := range fns {
+		go fn() // want `bare go statement`
+	}
+}
+
+// Not flagged: pool-discipline code with the reason on record.
+func Pool(work chan func()) {
+	for i := 0; i < 4; i++ {
+		//detlint:goroutine worker pool: submission-order collection keeps output parallelism-invariant
+		go func() {
+			for fn := range work {
+				fn()
+			}
+		}()
+	}
+}
+
+// A reasonless directive keeps the statement suppressed but is itself an
+// error.
+func PoolBad(fn func()) {
+	//detlint:goroutine
+	go fn() // want `requires a reason`
+}

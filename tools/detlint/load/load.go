@@ -1,0 +1,252 @@
+// Package load turns Go package patterns (or bare fixture directories)
+// into parsed, fully type-checked packages for detlint's analyzers.
+//
+// It is the hermetic stand-in for golang.org/x/tools/go/packages: type
+// information comes from the go command's own export data (`go list
+// -deps -export`), read back through the standard library's gc importer,
+// so no module beyond the standard library is required and no network is
+// touched.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the package's import path. For fixture directories
+	// loaded with Dir it is the caller-declared path, which is what
+	// detlint's package classification matches against.
+	PkgPath string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// TypeErrors holds type-checker errors. Analyzers still run over a
+	// package with errors (its Info maps are partially filled), but the
+	// driver reports them and fails the run.
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` over patterns and returns
+// the decoded package stream.
+func goList(patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w", patterns, err)
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to types.Packages by reading the
+// export data files `go list -export` produced.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return unsafeAware{gc}
+}
+
+// unsafeAware wraps the gc importer: package unsafe has no export data
+// file, so it must short-circuit to types.Unsafe.
+type unsafeAware struct{ next types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// checkFiles parses files and type-checks them as package pkgPath using
+// the given importer.
+func checkFiles(fset *token.FileSet, pkgPath string, files []string, imp types.Importer) (*Package, error) {
+	p := &Package{PkgPath: pkgPath, Fset: fset, TypesInfo: newInfo()}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", f, err)
+		}
+		p.Files = append(p.Files, af)
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Types, _ = conf.Check(pkgPath, fset, p.Files, p.TypesInfo)
+	return p, nil
+}
+
+// Packages loads every non-standard-library package matched by patterns
+// (test files excluded, testdata directories never matched), returning
+// them sorted by import path.
+func Packages(patterns ...string) ([]*Package, error) {
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listedPkg
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		p, err := checkFiles(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Dir loads a single fixture directory as the package importPath. Every
+// .go file in dir is included (fixtures have no build tags or test
+// files); imports must resolve within the standard library, which keeps
+// fixtures loadable from inside testdata where the go command will not
+// enumerate them. The declared importPath — not the directory — is what
+// detlint's deterministic-package classification sees, so fixtures can
+// impersonate any package the config covers.
+func Dir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	// Resolve the fixtures' imports through export data for exactly the
+	// standard-library packages they mention (plus dependencies).
+	imports, err := importsOf(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		listed, err := goList(imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	return checkFiles(fset, importPath, files, exportImporter(fset, exports))
+}
+
+// importsOf returns the sorted union of import paths across files.
+func importsOf(fset *token.FileSet, files []string) ([]string, error) {
+	seen := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("parsing imports of %s: %w", f, err)
+		}
+		for _, im := range af.Imports {
+			path, err := strconv.Unquote(im.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			seen[path] = true
+		}
+	}
+	var out []string
+	for p := range seen {
+		if p != "unsafe" {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

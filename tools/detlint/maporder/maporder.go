@@ -1,0 +1,59 @@
+// Package maporder flags range statements over maps in deterministic
+// packages. Go randomizes map iteration order on purpose; any map range
+// whose effects can reach rendered output, wire bytes, or trace text
+// breaks the byte-identity pins. Loops must iterate a sorted view
+// instead, or carry //detlint:ordered <reason> when the body is
+// genuinely order-insensitive.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"anonconsensus/tools/detlint/analysis"
+	"anonconsensus/tools/detlint/detcfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range over maps in deterministic packages\n\n" +
+		"Map iteration order is randomized; in packages bound by the\n" +
+		"determinism contract a map range must iterate a sorted view or be\n" +
+		"annotated //detlint:ordered <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !detcfg.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ex := detcfg.Collect(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pass.TypesInfo.TypeOf(rs.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			// `for range m` binds neither key nor value: the body runs
+			// len(m) times with no per-entry data, so order provably
+			// cannot matter.
+			if rs.Key == nil && rs.Value == nil {
+				return true
+			}
+			if detcfg.Suppressed(pass, ex, rs.For, "ordered") {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s in deterministic package %s: iteration order is randomized; iterate a sorted view or annotate //detlint:ordered <reason>",
+				types.TypeString(tv, types.RelativeTo(pass.Pkg)), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

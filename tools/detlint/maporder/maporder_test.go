@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"anonconsensus/tools/detlint/analysistest"
+	"anonconsensus/tools/detlint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer,
+		"anonconsensus/internal/sim",     // deterministic: seeded violations
+		"anonconsensus/internal/anonnet", // live plane: must stay silent
+	)
+}

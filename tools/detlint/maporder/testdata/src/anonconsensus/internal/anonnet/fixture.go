@@ -1,0 +1,12 @@
+// Package anonnetfix is the negative fixture: anonnet is a live network
+// plane outside the determinism contract, so maporder must stay silent
+// even over a bare map range.
+package anonnetfix
+
+func Render(m map[int]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, k+v)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Package simfix seeds maporder violations inside a package path the
+// determinism config classifies as deterministic.
+package simfix
+
+type table map[int]string
+
+// Flagged: per-entry data escapes in randomized order.
+func Render(m map[int]int) []int {
+	var out []int
+	for k, v := range m { // want `range over map`
+		out = append(out, k+v)
+	}
+	return out
+}
+
+// Flagged: named map types are maps too.
+func RenderNamed(t table) []string {
+	var out []string
+	for _, v := range t { // want `range over map`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Not flagged: binding neither key nor value is provably
+// order-insensitive.
+func Count(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Not flagged: slices iterate in index order.
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Not flagged: the escape hatch carries a reason.
+func Total(m map[int]int) int {
+	n := 0
+	//detlint:ordered integer addition is commutative, only the sum escapes
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// A directive without a reason suppresses the range finding but is
+// reported itself.
+func TotalBad(m map[int]int) int {
+	n := 0
+	//detlint:ordered
+	for _, v := range m { // want `requires a reason`
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+// Package retalias flags exported functions and methods in deterministic
+// packages that return a same-package struct field of slice or map type
+// directly — the aliasing bug class behind the Result.Statuses fix: the
+// caller receives a live reference into internal state, and a later
+// mutation on either side silently corrupts the other. Return a copy, or
+// annotate //detlint:aliased <reason> when sharing is the documented
+// contract (e.g. an immutable cached canonical slice).
+package retalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"anonconsensus/tools/detlint/analysis"
+	"anonconsensus/tools/detlint/detcfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "retalias",
+	Doc: "flag exported functions returning internal slice/map fields uncopied\n\n" +
+		"Returning a struct field of slice or map type hands the caller a\n" +
+		"live alias of internal state. Copy on return, or annotate\n" +
+		"//detlint:aliased <reason> when sharing is the documented contract.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !detcfg.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ex := detcfg.Collect(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, ex, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, ex *detcfg.Exemptions, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Returns inside nested function literals escape through the
+		// literal, not through the exported signature; skip them.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			checkResult(pass, ex, fd, res)
+		}
+		return true
+	})
+}
+
+func checkResult(pass *analysis.Pass, ex *detcfg.Exemptions, fd *ast.FuncDecl, res ast.Expr) {
+	sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field := selection.Obj()
+	if field.Pkg() != pass.Pkg {
+		return // a foreign package's field is not our internal state
+	}
+	switch field.Type().Underlying().(type) {
+	case *types.Slice, *types.Map:
+	default:
+		return
+	}
+	if detcfg.Suppressed(pass, ex, res.Pos(), "aliased") {
+		return
+	}
+	pass.Reportf(res.Pos(), "aliased return: exported %s returns field %s.%s (%s) without copying; return a copy or annotate //detlint:aliased <reason>",
+		fd.Name.Name, selection.Recv(), field.Name(),
+		types.TypeString(field.Type(), types.RelativeTo(pass.Pkg)))
+}

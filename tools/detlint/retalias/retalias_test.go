@@ -1,0 +1,15 @@
+package retalias_test
+
+import (
+	"testing"
+
+	"anonconsensus/tools/detlint/analysistest"
+	"anonconsensus/tools/detlint/retalias"
+)
+
+func TestRetAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", retalias.Analyzer,
+		"anonconsensus/internal/giraf",  // deterministic: seeded violations
+		"anonconsensus/internal/tcpnet", // live plane: outside the contract
+	)
+}

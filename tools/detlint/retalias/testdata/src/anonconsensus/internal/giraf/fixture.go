@@ -1,0 +1,55 @@
+// Package giraffix seeds retalias violations inside a deterministic
+// package path.
+package giraffix
+
+type Result struct {
+	statuses []int
+	index    map[string]int
+	Name     string
+	count    int
+}
+
+// Flagged: the caller receives live aliases of internal state — the
+// Result.Statuses bug class.
+func (r *Result) Statuses() []int {
+	return r.statuses // want `aliased return`
+}
+
+func (r *Result) Index() map[string]int {
+	return r.index // want `aliased return`
+}
+
+// Flagged: plain functions leak the same way methods do.
+func StatusesOf(r *Result) []int {
+	return r.statuses // want `aliased return`
+}
+
+// Not flagged: copy on return.
+func (r *Result) StatusesCopy() []int {
+	return append([]int(nil), r.statuses...)
+}
+
+// Not flagged: scalar fields carry no aliasing.
+func (r *Result) Count() int { return r.count }
+
+// Not flagged: unexported functions are package-internal plumbing.
+func statuses(r *Result) []int { return r.statuses }
+
+// Not flagged: a return inside a function literal escapes through the
+// literal, not the exported signature.
+func (r *Result) Walker() func() []int {
+	f := func() []int { return r.statuses }
+	return f
+}
+
+// Not flagged: documented sharing with the reason on record.
+//
+//detlint:aliased read-only cached view; callers must not retain past the next mutation
+func (r *Result) StatusesShared() []int { return r.statuses }
+
+// A reasonless directive keeps the line suppressed but is itself an
+// error.
+func (r *Result) StatusesBad() []int {
+	//detlint:aliased
+	return r.statuses // want `requires a reason`
+}

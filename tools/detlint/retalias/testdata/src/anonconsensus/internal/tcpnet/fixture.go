@@ -1,0 +1,9 @@
+// Package tcpnetfix is the negative fixture: tcpnet is a live plane
+// outside the determinism contract, so retalias stays silent there.
+package tcpnetfix
+
+type Hub struct {
+	conns []int
+}
+
+func (h *Hub) Conns() []int { return h.conns }

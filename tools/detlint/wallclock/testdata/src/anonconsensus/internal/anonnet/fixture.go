@@ -1,0 +1,14 @@
+// Package anonnetfix is the negative fixture proving the live-plane
+// exemption: anonnet schedules real latencies, so wall-clock reads are
+// its job and wallclock must stay silent.
+package anonnetfix
+
+import "time"
+
+func Deliver(d time.Duration) time.Time {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	time.Sleep(d / 2)
+	<-timer.C
+	return time.Now()
+}

@@ -1,0 +1,38 @@
+// Package corefix seeds wallclock violations inside a deterministic
+// package path.
+package corefix
+
+import "time"
+
+// Flagged: reading and waiting on the wall clock.
+func Measure() time.Duration {
+	start := time.Now()      // want `wall clock: time.Now`
+	return time.Since(start) // want `wall clock: time.Since`
+}
+
+func Wait(d time.Duration) {
+	time.Sleep(d)   // want `wall clock: time.Sleep`
+	<-time.After(d) // want `wall clock: time.After`
+}
+
+// Not flagged: duration arithmetic, constants and formatting never touch
+// the clock.
+func Format(d time.Duration) string {
+	d = d.Round(time.Millisecond) + 2*time.Second
+	return d.String()
+}
+
+// Not flagged: annotated measurement with a reason on record.
+func Audited() time.Duration {
+	//detlint:wallclock audited wall-time column, excluded from byte-identity pins
+	start := time.Now()
+	//detlint:wallclock paired read for the measurement above
+	return time.Since(start)
+}
+
+// A reasonless directive keeps the line suppressed but is itself an
+// error.
+func AuditedBad() time.Time {
+	//detlint:wallclock
+	return time.Now() // want `requires a reason`
+}

@@ -1,0 +1,66 @@
+// Package wallclock forbids reading or waiting on the wall clock in
+// deterministic packages. Simulated time is the only clock those
+// packages may consult — time.Now and friends make output depend on the
+// host scheduler. The live network planes (anonnet, tcpnet) are exempt
+// by config: real latency is their job.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"anonconsensus/tools/detlint/analysis"
+	"anonconsensus/tools/detlint/detcfg"
+)
+
+// forbidden lists the package time functions that read or wait on the
+// wall clock. Duration arithmetic, formatting and constants stay legal.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock reads in deterministic packages\n\n" +
+		"time.Now/Since/Until/Sleep/After/AfterFunc/Tick/NewTimer/NewTicker\n" +
+		"couple output to the host scheduler. Deterministic packages use\n" +
+		"simulated rounds; annotate //detlint:wallclock <reason> for the\n" +
+		"rare legitimate measurement (e.g. a wall-time table column that is\n" +
+		"excluded from the byte-identity pins).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !detcfg.Deterministic(path) || detcfg.LiveExempt(path) {
+		return nil, nil
+	}
+	ex := detcfg.Collect(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !forbidden[fn.Name()] {
+				return true
+			}
+			if detcfg.Suppressed(pass, ex, sel.Pos(), "wallclock") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall clock: time.%s in deterministic package %s; use simulated time or annotate //detlint:wallclock <reason>",
+				fn.Name(), path)
+			return true
+		})
+	}
+	return nil, nil
+}

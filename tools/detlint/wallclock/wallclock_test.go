@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"anonconsensus/tools/detlint/analysistest"
+	"anonconsensus/tools/detlint/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer,
+		"anonconsensus/internal/core",    // deterministic: seeded violations
+		"anonconsensus/internal/anonnet", // live plane: exempt by config
+	)
+}
