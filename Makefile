@@ -9,12 +9,14 @@ GO        ?= go
 BENCHTIME ?= 10x
 BENCHOUT  ?= BENCH_consensus.json
 FUZZTIME  ?= 10s
+# bench-smoke measures with a time-based benchtime: microsecond-scale
+# benchmarks then run thousands of iterations, which keeps their ns/op
+# stable where a fixed 10x sample can swing several-fold on a loaded box.
+SMOKE_BENCHTIME ?= 1s
 # bench-smoke regression threshold in percent. Generous by default: the
 # committed trajectory and the smoke run usually come from different
-# machines, and at the default BENCHTIME=10x single benchmarks can swing
-# ±50% on a loaded box, so the gate is for 2×-plus regressions, not
-# noise. Tighten it together with BENCHTIME (e.g. BENCHTIME=100x
-# BENCH_THRESHOLD=30) when measuring on quiet, comparable hardware.
+# machines, so the gate is for 2×-plus regressions, not noise. Tighten it
+# (e.g. BENCH_THRESHOLD=30) when measuring on quiet, comparable hardware.
 BENCH_THRESHOLD ?= 100
 
 # Pinned external lint tools, installed on demand via `go run mod@version`
@@ -65,7 +67,7 @@ bench:
 # any benchmark regressed more than BENCH_THRESHOLD% against the last run
 # recorded in $(BENCHOUT). It never modifies $(BENCHOUT).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(SMOKE_BENCHTIME) . \
 		| $(GO) run ./tools/benchjson -label "bench-smoke" -out $(BENCHOUT).smoke.json
 	status=0; $(GO) run ./tools/benchjson -compare -threshold $(BENCH_THRESHOLD) $(BENCHOUT) $(BENCHOUT).smoke.json || status=$$?; \
 		rm -f $(BENCHOUT).smoke.json; exit $$status

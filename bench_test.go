@@ -74,6 +74,41 @@ func BenchmarkESConsensusRound(b *testing.B) {
 	}
 }
 
+// BenchmarkESConsensus measures one big-n ES consensus run end to end on a
+// reused engine: the flat-state engine's headline numbers (PERFORMANCE.md
+// "Flat-state engine and dominance-aware merging"). At these sizes the
+// per-round delivery fan-out is n² envelopes, so the benchmark is dominated
+// by exactly the paths the dominance check and the flat state target.
+// n=1024 is skipped in short mode; `make bench-smoke` runs both.
+func BenchmarkESConsensus(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			if n > 256 && testing.Short() {
+				b.Skip("n=1024 single runs are slow; run without -short")
+			}
+			props := core.DistinctProposals(n)
+			mk := func() sim.Config {
+				return core.ConfigES(props, core.RunOpts{Policy: sim.Synchronous{}})
+			}
+			eng, err := sim.New(mk())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := eng.Run()
+				if !res.AllCorrectDecided() {
+					b.Fatal("undecided")
+				}
+				if err := eng.Reset(mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkESConsensusLossy is the BenchmarkESConsensusRound workload with
 // the scenario plane's link faults dialed in (10% loss, 10% duplication):
 // it measures what the per-delivery fault draws and the extra duplicate
@@ -169,16 +204,23 @@ func BenchmarkABDRead(b *testing.B) {
 	}
 }
 
+// BenchmarkRegisterFromWeakSet measures a whole register session — 64
+// write+read pairs against a fresh weak set — as one op. Bounding the
+// session matters: the paper's construction adds a (rank, value) pair on
+// every write, so a set shared across iterations grows without bound and
+// the reported ns/op would be an artifact of the iteration count.
 func BenchmarkRegisterFromWeakSet(b *testing.B) {
-	var ws weakset.Memory
-	reg := register.NewFromWeakSet(&ws)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := reg.Write(values.Num(int64(i % 1000))); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := reg.Read(); err != nil {
-			b.Fatal(err)
+		var ws weakset.Memory
+		reg := register.NewFromWeakSet(&ws)
+		for j := 0; j < 64; j++ {
+			if err := reg.Write(values.Num(int64(j))); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := reg.Read(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -30,10 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"anonconsensus"
+	"anonconsensus/internal/core"
 	"anonconsensus/internal/expt"
+	"anonconsensus/internal/sim"
 )
 
 // cliOpts carries the parsed command line.
@@ -52,6 +56,11 @@ type cliOpts struct {
 	envName     string
 	scenarioPct int
 	replay      string
+
+	singleES   int
+	workers    int
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
@@ -69,12 +78,48 @@ func main() {
 	flag.StringVar(&o.envName, "env", "es", "exploration: algorithm under test (es or ess)")
 	flag.IntVar(&o.scenarioPct, "scenarios", 50, "exploration: percentage of trials that overlay a random fault scenario")
 	flag.StringVar(&o.replay, "replay", "", "replay a canonical exploration trace and report its violations")
+	flag.IntVar(&o.singleES, "es", 0, "run one synchronous ES consensus at this size and print metrics (the big-n profiling workload; see -cpuprofile, -workers)")
+	flag.IntVar(&o.workers, "workers", 0, "intra-run delivery workers for -es (0/1 = sequential; results are byte-identical at any setting)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	if err := withProfiles(o, run); err != nil {
 		fmt.Fprintln(os.Stderr, "anonsim:", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles wraps fn with the -cpuprofile/-memprofile collection so any
+// anonsim workload — an experiment, the explorer, a -es big-n run — can be
+// profiled without a test harness (see PERFORMANCE.md "Profiling a run").
+func withProfiles(o cliOpts, fn func(cliOpts) error) error {
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memprofile != "" {
+		defer func() {
+			f, err := os.Create(o.memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anonsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "anonsim: memprofile:", err)
+			}
+		}()
+	}
+	return fn(o)
 }
 
 func run(o cliOpts) error {
@@ -87,6 +132,8 @@ func run(o cliOpts) error {
 		return nil
 	case o.replay != "":
 		return runReplay(o.replay)
+	case o.singleES > 0:
+		return runSingleES(o.singleES, o.workers)
 	case o.explore:
 		return runExplore(o)
 	case o.session > 0:
@@ -144,6 +191,33 @@ func runExplore(o cliOpts) error {
 	if !rep.Verified() {
 		return fmt.Errorf("exploration found %d violations", len(rep.Violations))
 	}
+	return nil
+}
+
+// runSingleES executes one synchronous ES consensus with n distinct
+// proposals and prints the run's metrics: the canonical big-n workload for
+// -cpuprofile/-memprofile sessions (it is also what BenchmarkESConsensus
+// measures, so profiles line up with the benchmark trajectory).
+func runSingleES(n, workers int) error {
+	props := core.DistinctProposals(n)
+	start := time.Now()
+	res, err := core.RunES(props, core.RunOpts{
+		Policy:         sim.Synchronous{},
+		DeliverWorkers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if !res.AllCorrectDecided() {
+		return fmt.Errorf("-es %d: run did not decide within the round bound", n)
+	}
+	m := res.Metrics
+	fmt.Printf("ES n=%d synchronous: decided in %d rounds (%s wall, %d workers)\n",
+		n, res.Rounds, elapsed.Round(time.Microsecond), workers)
+	fmt.Printf("  broadcasts=%d deliveries=%d merges-skipped=%d dropped=%d\n",
+		m.Broadcasts, m.Deliveries, m.MergesSkipped, m.Dropped)
+	fmt.Printf("  payload-bytes=%d max-envelope=%d\n", m.PayloadBytes, m.MaxEnvelopeBytes)
 	return nil
 }
 

@@ -17,6 +17,7 @@ type SetPayload struct {
 var (
 	_ giraf.Payload       = SetPayload{}
 	_ giraf.Fingerprinted = SetPayload{}
+	_ giraf.PayloadSizer  = SetPayload{}
 )
 
 // PayloadKey implements giraf.Payload.
@@ -24,6 +25,10 @@ func (p SetPayload) PayloadKey() string { return p.Proposed.Key() }
 
 // PayloadFingerprint implements giraf.Fingerprinted.
 func (p SetPayload) PayloadFingerprint() values.Fingerprint { return p.Proposed.Fingerprint() }
+
+// PayloadEncodedSize implements giraf.PayloadSizer via the set's cached
+// encoded size — the key string is never built just to be measured.
+func (p SetPayload) PayloadEncodedSize() int { return p.Proposed.EncodedSize() }
 
 // String implements fmt.Stringer.
 func (p SetPayload) String() string { return p.Proposed.String() }
@@ -36,6 +41,14 @@ type ES struct {
 	written    values.Set
 	writtenOld values.Set
 	proposed   values.Set
+
+	// sets is Compute's scratch buffer of round-k message sets, reused
+	// across rounds.
+	sets []values.Set
+
+	// memo, when non-nil, is shared by every ES automaton of one run (see
+	// ConfigES) and caches the round-aggregate sets by inbox fingerprint.
+	memo *esMemo
 
 	// literalNesting reproduces the broken literal reading of the
 	// preprint's flat indentation (line 14 nested in the even-round
@@ -78,9 +91,16 @@ func (a *ES) Initialize() giraf.Payload {
 }
 
 // Compute implements giraf.Automaton (Algorithm 2 lines 5–15).
+//
+// The state sets (WRITTEN, WRITTENOLD, PROPOSED) are only ever reassigned,
+// never mutated in place, and inbox payload sets are immutable by the
+// framework contract — so the steady-state fast path below may alias them
+// freely instead of cloning. The aliasing is behavior-identical to the
+// clone-everything version; it only removes copies of sets nobody will
+// write to.
 func (a *ES) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
 	msgs := inbox.Round(k)
-	sets := make([]values.Set, 0, len(msgs))
+	sets := a.sets[:0]
 	for _, m := range msgs {
 		// Payloads of a foreign algorithm family (possible when a shared
 		// hub replays another run's frames) are ignored, not fatal:
@@ -89,10 +109,43 @@ func (a *ES) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
 			sets = append(sets, p.Proposed)
 		}
 	}
-	// Line 6: WRITTEN := ∩_{m ∈ M_i[k]} m.
-	a.written = values.IntersectAll(sets)
-	// Line 7: PROPOSED := (∪_{m ∈ M_i[k]} m) ∪ PROPOSED.
-	a.proposed = values.UnionAll(sets).Union(a.proposed)
+	a.sets = sets
+	if len(sets) > 0 && allSetsEqual(sets) {
+		// Steady-state fast path: every round-k message carries the same
+		// set S (one fingerprint comparison each), so WRITTEN = ∩ = S and
+		// ∪ = S; PROPOSED grows to S ∪ PROPOSED, which is S itself once
+		// PROPOSED ⊆ S (the converged case — no set is built at all).
+		s0 := sets[0]
+		a.written = s0
+		if a.proposed.SubsetOf(s0) {
+			a.proposed = s0
+		} else {
+			a.proposed = s0.Union(a.proposed)
+		}
+	} else {
+		// Lines 6–7: WRITTEN := ∩_{m ∈ M_i[k]} m and the inbox union for
+		// PROPOSED. Both are pure functions of the round's payload set, so
+		// across the processes of one run — which see identical inboxes
+		// whenever delivery is uniform, e.g. every synchronous round — the
+		// first process computes them and its peers alias the memoized
+		// result (sound: fingerprint equality ⇔ structural equality, and
+		// state sets are only ever reassigned, never mutated).
+		w, u, ok := a.memoLookup(k, inbox)
+		if !ok {
+			w = values.IntersectAll(sets)
+			u = values.UnionAll(sets)
+			a.memoStore(k, inbox, w, u)
+		}
+		a.written = w
+		// The union is owned (or immutably shared), so when PROPOSED adds
+		// nothing to it — always the case in round 1, where our own inbox
+		// payload carries VAL — it is aliased rather than cloned again.
+		if a.proposed.SubsetOf(u) {
+			a.proposed = u
+		} else {
+			a.proposed = u.Union(a.proposed)
+		}
+	}
 
 	if k%2 == 0 {
 		// Line 9: if PROPOSED = WRITTENOLD = {VAL} then decide.
@@ -105,7 +158,7 @@ func (a *ES) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
 			a.val = max
 			a.proposed = values.NewSet(a.val)
 			if a.literalNesting {
-				a.writtenOld = a.written.Clone() // broken literal reading (ablation)
+				a.writtenOld = a.written // broken literal reading (ablation)
 			}
 		}
 	}
@@ -115,10 +168,70 @@ func (a *ES) Compute(k int, inbox giraf.Inbox) (giraf.Payload, giraf.Decision) {
 	// WRITTEN^(k−2) and violates Agreement on some MS schedules
 	// (DESIGN.md §3 note 3).
 	if !a.literalNesting {
-		a.writtenOld = a.written.Clone()
+		a.writtenOld = a.written
 	}
 	// Line 15: return PROPOSED.
-	return SetPayload{Proposed: a.proposed.Clone()}, giraf.Decision{}
+	return SetPayload{Proposed: a.proposed}, giraf.Decision{}
+}
+
+// esMemo caches one round-inbox's aggregate sets (intersection and union)
+// keyed by the inbox's set fingerprint, shared by every ES automaton of a
+// single run. A single slot suffices: the engine invokes end-of-round
+// compute sequentially across processes, so when inboxes coincide the
+// hits arrive back to back. The cached sets are immutable by convention —
+// ES state sets are reassigned, never mutated in place.
+type esMemo struct {
+	fp      values.Fingerprint
+	written values.Set
+	union   values.Set
+}
+
+// roundFingerprinter is the optional Inbox capability the memo keys on
+// (implemented by giraf.Proc).
+type roundFingerprinter interface {
+	RoundSetFingerprint(k int) values.Fingerprint
+}
+
+// memoLookup returns the cached aggregates when the run-shared memo holds
+// this round's exact payload set.
+func (a *ES) memoLookup(k int, inbox giraf.Inbox) (written, union values.Set, ok bool) {
+	if a.memo == nil || a.memo.fp.IsZero() {
+		return values.Set{}, values.Set{}, false
+	}
+	rf, can := inbox.(roundFingerprinter)
+	if !can {
+		return values.Set{}, values.Set{}, false
+	}
+	if fp := rf.RoundSetFingerprint(k); !fp.IsZero() && fp == a.memo.fp {
+		return a.memo.written, a.memo.union, true
+	}
+	return values.Set{}, values.Set{}, false
+}
+
+// memoStore records this round's aggregates for the peers that will see
+// the same inbox.
+func (a *ES) memoStore(k int, inbox giraf.Inbox, written, union values.Set) {
+	if a.memo == nil {
+		return
+	}
+	rf, can := inbox.(roundFingerprinter)
+	if !can {
+		return
+	}
+	if fp := rf.RoundSetFingerprint(k); !fp.IsZero() {
+		a.memo.fp, a.memo.written, a.memo.union = fp, written, union
+	}
+}
+
+// allSetsEqual reports whether every set equals the first — a fingerprint
+// comparison per element for settled (payload) sets.
+func allSetsEqual(sets []values.Set) bool {
+	for _, t := range sets[1:] {
+		if !sets[0].Equal(t) {
+			return false
+		}
+	}
+	return true
 }
 
 // Val returns the current estimate (for metrics and tests).

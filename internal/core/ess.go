@@ -38,6 +38,7 @@ type essForm struct {
 var (
 	_ giraf.Payload       = ESSPayload{}
 	_ giraf.Fingerprinted = ESSPayload{}
+	_ giraf.PayloadSizer  = ESSPayload{}
 )
 
 // MakeESSPayload builds a payload with a canonical-form cache attached.
@@ -73,6 +74,10 @@ func (p ESSPayload) PayloadKey() string { return p.form().key }
 
 // PayloadFingerprint implements giraf.Fingerprinted.
 func (p ESSPayload) PayloadFingerprint() values.Fingerprint { return p.form().fp }
+
+// PayloadEncodedSize implements giraf.PayloadSizer: the cached canonical
+// key's length (the form is computed at most once per payload).
+func (p ESSPayload) PayloadEncodedSize() int { return len(p.form().key) }
 
 // String implements fmt.Stringer.
 func (p ESSPayload) String() string {

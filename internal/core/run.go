@@ -29,6 +29,9 @@ type RunOpts struct {
 	RecordTrace bool
 	// OnRound forwards sim.Config.OnRound.
 	OnRound func(round int, e *sim.Engine)
+	// DeliverWorkers forwards sim.Config.DeliverWorkers: intra-run sharding
+	// of each step's delivery fan-out (byte-identical at any setting).
+	DeliverWorkers int
 }
 
 func (o RunOpts) maxRounds(n int) int {
@@ -48,14 +51,15 @@ func (o RunOpts) ctx() context.Context {
 // config assembles the sim.Config shared by every consensus runner.
 func (o RunOpts) config(n int, aut func(i int) giraf.Automaton) sim.Config {
 	return sim.Config{
-		N:           n,
-		Automaton:   aut,
-		Policy:      o.Policy,
-		Crashes:     o.Crashes,
-		Scenario:    o.Scenario,
-		MaxRounds:   o.maxRounds(n),
-		RecordTrace: o.RecordTrace,
-		OnRound:     o.OnRound,
+		N:              n,
+		Automaton:      aut,
+		Policy:         o.Policy,
+		Crashes:        o.Crashes,
+		Scenario:       o.Scenario,
+		MaxRounds:      o.maxRounds(n),
+		RecordTrace:    o.RecordTrace,
+		OnRound:        o.OnRound,
+		DeliverWorkers: o.DeliverWorkers,
 	}
 }
 
@@ -65,7 +69,16 @@ func (o RunOpts) config(n int, aut func(i int) giraf.Automaton) sim.Config {
 // RunOpts.Ctx is NOT carried into the config — cancellation of a batched
 // run is the batch runner's ctx argument's concern.
 func ConfigES(proposals []values.Value, opts RunOpts) sim.Config {
-	return opts.config(len(proposals), func(i int) giraf.Automaton { return NewES(proposals[i]) })
+	// One memo per config = per run (configs are single-run, like their
+	// Policy): processes with identical round inboxes — every process, in
+	// a uniform-delivery round — share one aggregate computation instead
+	// of each re-deriving the same intersection and union.
+	memo := &esMemo{}
+	return opts.config(len(proposals), func(i int) giraf.Automaton {
+		a := NewES(proposals[i])
+		a.memo = memo
+		return a
+	})
 }
 
 // ConfigESS is ConfigES for Algorithm 3.

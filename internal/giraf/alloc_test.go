@@ -21,7 +21,9 @@ func TestInboxRoundAllocsWarm(t *testing.T) {
 }
 
 // TestMergeDedupAllocsWarm: merging an already-known payload set must not
-// allocate (fingerprint lookups only).
+// allocate (fingerprint lookups only). With a set-fingerprint on the
+// envelope, the repeat deliveries take the dominance-skip path (the first
+// full merge recorded the fingerprint in the round's seen list).
 func TestMergeDedupAllocsWarm(t *testing.T) {
 	p := NewProc(&staticAut{pay: sp(values.Num(0))})
 	env := Envelope{
@@ -32,5 +34,48 @@ func TestMergeDedupAllocsWarm(t *testing.T) {
 	p.Receive(env)
 	if n := testing.AllocsPerRun(100, func() { p.Receive(env) }); n != 0 {
 		t.Errorf("duplicate envelope merge: %v allocs/op, want 0", n)
+	}
+	if p.MergeSkips() == 0 {
+		t.Error("repeat deliveries of a fingerprinted envelope never took the skip path")
+	}
+}
+
+// TestMergeDedupNoFingerprintAllocsWarm keeps the pre-dominance pin alive:
+// even without a set fingerprint (skip path unavailable), a duplicate
+// envelope's element-wise merge must not allocate.
+func TestMergeDedupNoFingerprintAllocsWarm(t *testing.T) {
+	p := NewProc(&staticAut{pay: sp(values.Num(0))})
+	env := Envelope{
+		Round:    1,
+		Payloads: []Payload{sp(values.Num(1)), sp(values.Num(2))},
+	}
+	p.Receive(env)
+	if n := testing.AllocsPerRun(100, func() { p.Receive(env) }); n != 0 {
+		t.Errorf("duplicate envelope merge: %v allocs/op, want 0", n)
+	}
+	if p.MergeSkips() != 0 {
+		t.Error("fingerprint-less envelope must never take the skip path")
+	}
+}
+
+// TestDominanceSkipViaBroadcastCache pins the steady-state fast path: once
+// a process has broadcast a round (caching the round's set fingerprint),
+// an inbound envelope with the same fingerprint is skipped in O(1) with no
+// allocation and no payload access.
+func TestDominanceSkipViaBroadcastCache(t *testing.T) {
+	p := NewProc(&staticAut{pay: sp(values.Num(0))})
+	env, ok := p.EndOfRound() // broadcast round 1, caching its set fingerprint
+	if !ok || env.SetFingerprint.IsZero() {
+		t.Fatalf("broadcast envelope missing set fingerprint: %+v, ok=%v", env, ok)
+	}
+	before := p.Delivered()
+	if n := testing.AllocsPerRun(100, func() { p.Receive(env) }); n != 0 {
+		t.Errorf("dominated envelope delivery: %v allocs/op, want 0", n)
+	}
+	if p.MergeSkips() == 0 {
+		t.Error("fingerprint-identical echo of own broadcast was not skipped")
+	}
+	if p.Delivered() != before {
+		t.Error("skipped deliveries must not change the Delivered count")
 	}
 }

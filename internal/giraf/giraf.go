@@ -49,6 +49,14 @@ type Fingerprinted interface {
 	PayloadFingerprint() values.Fingerprint
 }
 
+// PayloadSizer is an optional Payload extension for types that can report
+// the canonical encoding's length without materializing the key string —
+// typically by reusing a cached encoded size (values.Set caches one). The
+// contract: PayloadEncodedSize() == len(PayloadKey()).
+type PayloadSizer interface {
+	PayloadEncodedSize() int
+}
+
 // payloadCanon returns the canonical key and fingerprint of p, using the
 // payload's cache when it has one.
 func payloadCanon(p Payload) (string, values.Fingerprint) {
@@ -127,12 +135,25 @@ type Envelope struct {
 }
 
 // roundInbox is the per-round storage: fingerprint-keyed membership plus an
-// incrementally maintained canonical-key-sorted view.
+// incrementally maintained canonical-key-sorted view. Membership is a
+// linear scan over the flat fingerprint slice while the round is small
+// (the overwhelmingly common case: anonymous rounds hold one payload per
+// equivalence class); a map index is built only once the round outgrows
+// the scan threshold, so typical rounds never allocate map buckets.
 type roundInbox struct {
-	byFP map[values.Fingerprint]struct{}
-	keys []string             // ascending canonical keys, parallel to pays
-	pays []Payload            // payloads in key order
+	byFP map[values.Fingerprint]struct{} // nil until len(pays) > inboxScanMax
+	keys []string             // canonical keys, parallel to pays; ascending once settled
+	pays []Payload            // payloads, parallel to keys
 	fps  []values.Fingerprint // payload fingerprints, parallel to pays
+	// dirty marks that an append broke ascending key order; the order
+	// consumers (snapshot, setFingerprint) re-establish it lazily, so a
+	// burst of insertions costs one sort instead of a memmove each.
+	dirty bool
+	// seen holds the set-fingerprints of envelopes already fully merged
+	// into this round (bounded; see dominates). Slots beyond seenCap are
+	// simply not recorded — the dominance check is an optimization, merges
+	// stay idempotent without it.
+	seen []values.Fingerprint
 	// view is the cached Round(k) snapshot; nil after an insertion.
 	view []Payload
 	// envFP is the cached fingerprint of the full payload set in key order;
@@ -145,9 +166,18 @@ type roundInbox struct {
 // capacity absorbs the append-growth churn without bloating big-n runs.
 const roundInboxHint = 8
 
+// inboxScanMax is the round size up to which membership is a linear
+// fingerprint scan; beyond it the byFP map takes over. 16 entries × 16
+// bytes is two cache lines — cheaper to scan than to hash into a map.
+const inboxScanMax = 16
+
+// seenCap bounds the per-round list of merged envelope fingerprints. At
+// steady state a round sees one or two distinct envelope sets; 8 slots
+// absorb convergence churn without growing per-round state.
+const seenCap = 8
+
 func newRoundInbox() *roundInbox {
 	return &roundInbox{
-		byFP: make(map[values.Fingerprint]struct{}, roundInboxHint),
 		keys: make([]string, 0, roundInboxHint),
 		pays: make([]Payload, 0, roundInboxHint),
 		fps:  make([]values.Fingerprint, 0, roundInboxHint),
@@ -155,44 +185,124 @@ func newRoundInbox() *roundInbox {
 }
 
 // recycle clears the storage for reuse by a later round (or run), keeping
-// the map buckets and slice capacity warm.
+// the map buckets and slice capacity warm. Only the occupied prefix needs
+// clearing: entries past len were zeroed by the previous recycle and are
+// never written without growing len first.
 func (ri *roundInbox) recycle() {
 	clear(ri.byFP)
-	clear(ri.keys[:cap(ri.keys)])
-	clear(ri.pays[:cap(ri.pays)]) // drop payload refs so reuse doesn't pin them
-	clear(ri.fps[:cap(ri.fps)])
+	clear(ri.keys)
+	clear(ri.pays) // drop payload refs so reuse doesn't pin them
+	clear(ri.fps)
+	clear(ri.seen)
 	ri.keys = ri.keys[:0]
 	ri.pays = ri.pays[:0]
 	ri.fps = ri.fps[:0]
+	ri.dirty = false
+	ri.seen = ri.seen[:0]
 	ri.view = nil
 	ri.envFP = values.Fingerprint{}
+}
+
+// contains reports whether a payload with fingerprint fp is already
+// stored: a flat scan while the round is small, the map index afterwards.
+func (ri *roundInbox) contains(fp values.Fingerprint) bool {
+	if ri.byFP != nil {
+		_, ok := ri.byFP[fp]
+		return ok
+	}
+	for _, f := range ri.fps {
+		if f == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// dominates reports whether an inbound envelope with the given non-zero
+// set-fingerprint cannot add anything to this round: either its payload
+// set is structurally identical to the stored set (fingerprint equality ⇔
+// structural equality, the canonical-form invariant), or an envelope with
+// the same set-fingerprint — hence the same payload set — was already
+// merged in full. Only the *cached* set fingerprint is consulted (it is
+// valid whenever the round was broadcast and nothing was inserted since —
+// the steady state): recomputing it here would cost a hash over the whole
+// round per delivery, turning convergence into O(n³) hashing. A stale
+// cache just means one redundant merge, which insert dedups anyway.
+func (ri *roundInbox) dominates(setFP values.Fingerprint) bool {
+	if !ri.envFP.IsZero() && ri.envFP == setFP {
+		return true
+	}
+	for _, f := range ri.seen {
+		if f == setFP {
+			return true
+		}
+	}
+	return false
+}
+
+// recordMerged notes that an envelope with the given set-fingerprint has
+// been merged in full, so later identical envelopes can be skipped.
+func (ri *roundInbox) recordMerged(setFP values.Fingerprint) {
+	if setFP.IsZero() || len(ri.seen) >= seenCap {
+		return
+	}
+	ri.seen = append(ri.seen, setFP)
 }
 
 // insert adds a payload with the given canonical key and fingerprint,
 // keeping the key order; it reports whether the payload was new.
 func (ri *roundInbox) insert(key string, fp values.Fingerprint, pay Payload) bool {
-	if _, ok := ri.byFP[fp]; ok {
+	if ri.contains(fp) {
 		return false
 	}
-	ri.byFP[fp] = struct{}{}
-	i := sort.SearchStrings(ri.keys, key)
-	ri.keys = append(ri.keys, "")
-	copy(ri.keys[i+1:], ri.keys[i:])
-	ri.keys[i] = key
-	ri.pays = append(ri.pays, nil)
-	copy(ri.pays[i+1:], ri.pays[i:])
-	ri.pays[i] = pay
-	ri.fps = append(ri.fps, values.Fingerprint{})
-	copy(ri.fps[i+1:], ri.fps[i:])
-	ri.fps[i] = fp
+	if ri.byFP != nil {
+		ri.byFP[fp] = struct{}{}
+	} else if len(ri.fps) >= inboxScanMax {
+		ri.byFP = make(map[values.Fingerprint]struct{}, 2*inboxScanMax)
+		for _, f := range ri.fps {
+			ri.byFP[f] = struct{}{}
+		}
+		ri.byFP[fp] = struct{}{}
+	}
+	if n := len(ri.keys); n > 0 && key < ri.keys[n-1] {
+		ri.dirty = true
+	}
+	ri.keys = append(ri.keys, key)
+	ri.pays = append(ri.pays, pay)
+	ri.fps = append(ri.fps, fp)
 	ri.view = nil
 	ri.envFP = values.Fingerprint{}
 	return true
 }
 
+// inboxByKey sorts the three parallel payload slices by canonical key.
+// Keys are pairwise distinct (key equality ⇔ fingerprint equality, and
+// equal fingerprints are deduplicated on insert), so the order — hence
+// every snapshot and set fingerprint — is unique regardless of arrival
+// order.
+type inboxByKey struct{ ri *roundInbox }
+
+func (s inboxByKey) Len() int           { return len(s.ri.keys) }
+func (s inboxByKey) Less(i, j int) bool { return s.ri.keys[i] < s.ri.keys[j] }
+func (s inboxByKey) Swap(i, j int) {
+	ri := s.ri
+	ri.keys[i], ri.keys[j] = ri.keys[j], ri.keys[i]
+	ri.pays[i], ri.pays[j] = ri.pays[j], ri.pays[i]
+	ri.fps[i], ri.fps[j] = ri.fps[j], ri.fps[i]
+}
+
+// ensureSorted re-establishes ascending key order after appends.
+func (ri *roundInbox) ensureSorted() {
+	if ri.dirty {
+		sort.Sort(inboxByKey{ri})
+		ri.dirty = false
+	}
+}
+
 // snapshot returns (building and caching if needed) the payloads in key
 // order as a slice that stays valid across later insertions.
 func (ri *roundInbox) snapshot() []Payload {
+	ri.ensureSorted()
 	if ri.view == nil {
 		ri.view = make([]Payload, len(ri.pays))
 		copy(ri.view, ri.pays)
@@ -203,6 +313,7 @@ func (ri *roundInbox) snapshot() []Payload {
 // setFingerprint returns (computing and caching if needed) the fingerprint
 // of the full payload set in key order.
 func (ri *roundInbox) setFingerprint() values.Fingerprint {
+	ri.ensureSorted()
 	if ri.envFP.IsZero() {
 		var h values.Hasher
 		h.WriteString("E")
@@ -216,10 +327,20 @@ func (ri *roundInbox) setFingerprint() values.Fingerprint {
 
 // Proc is the framework state of one process: its round number, inbox
 // array, and halted flag. Proc is not safe for concurrent use.
+//
+// Round storage is flat: inbox is indexed by round number (the M_i array
+// of Algorithm 1, literally), so the hot paths — current-round merge,
+// Round(k) reads — are a bounds check and a slice load instead of a map
+// probe. Slots are nil until the round first stores a payload; recycled
+// storage is drawn from the spare list.
 type Proc struct {
 	aut      Automaton
 	round    int // k_i: number of end-of-round invocations so far
-	inbox    map[int]*roundInbox
+	inbox    []*roundInbox // indexed by round; nil slot = empty round
+	// far holds rounds too distant from the dense window to index flat —
+	// only reachable via a transport delivering an absurd round number
+	// (see farRoundSlack); nil until first needed.
+	far      map[int]*roundInbox
 	fresh    []Payload
 	halted   bool
 	decision Decision
@@ -232,26 +353,61 @@ type Proc struct {
 	// delivered counts payload-set merges that actually added something;
 	// exposed for metrics.
 	delivered int
+	// mergeSkips counts envelopes whose element-wise merge was skipped by
+	// the dominance check (Receive); exposed for metrics.
+	mergeSkips int
 }
 
 var _ Inbox = (*Proc)(nil)
 
 // NewProc wraps an automaton in framework state.
 func NewProc(aut Automaton) *Proc {
-	return &Proc{
-		aut:   aut,
-		inbox: make(map[int]*roundInbox),
+	return &Proc{aut: aut}
+}
+
+// farRoundSlack bounds how far past the dense window a round may grow the
+// flat inbox array. Legitimate rounds are dense (every executed round
+// stores at least the process's own payload), so only a transport
+// delivering a corrupt-but-parseable frame can name a round this far
+// ahead; those fall back to the sparse far map instead of growing the
+// array to an attacker-chosen length.
+const farRoundSlack = 1 << 16
+
+// roundAt returns the storage for round k, or nil.
+func (p *Proc) roundAt(k int) *roundInbox {
+	if k < 0 {
+		return nil
 	}
+	if k < len(p.inbox) {
+		return p.inbox[k]
+	}
+	if p.far != nil {
+		return p.far[k]
+	}
+	return nil
 }
 
 // Round implements Inbox. The slice is a cached snapshot in canonical key
 // order; callers must not mutate it.
 func (p *Proc) Round(k int) []Payload {
-	ri := p.inbox[k]
+	ri := p.roundAt(k)
 	if ri == nil || len(ri.pays) == 0 {
 		return nil
 	}
 	return ri.snapshot()
+}
+
+// RoundSetFingerprint returns the fingerprint of round k's deduplicated
+// payload set in canonical order, or the zero fingerprint when the round
+// is empty. Two rounds share a fingerprint iff they hold structurally
+// identical payload sets (the canonical-form invariant), which lets
+// automata memoize pure functions of a round's contents across processes.
+func (p *Proc) RoundSetFingerprint(k int) values.Fingerprint {
+	ri := p.roundAt(k)
+	if ri == nil || len(ri.pays) == 0 {
+		return values.Fingerprint{}
+	}
+	return ri.setFingerprint()
 }
 
 // Fresh implements Inbox: payloads added to any round's set since the last
@@ -276,17 +432,54 @@ func (p *Proc) Decision() Decision { return p.decision }
 // for metrics.
 func (p *Proc) Delivered() int { return p.delivered }
 
+// MergeSkips returns the number of envelopes whose element-wise merge the
+// dominance check skipped, for metrics.
+func (p *Proc) MergeSkips() int { return p.mergeSkips }
+
+// testForceFullMerge disables the dominance-check fast path so tests can
+// compare skipped and always-merged runs element for element; see
+// ForceFullMergeForTest.
+var testForceFullMerge bool
+
+// ForceFullMergeForTest disables (on=true) or re-enables (on=false) the
+// dominance-check merge skipping globally. It exists solely for the
+// dominance property tests, which assert that skipped and unskipped runs
+// produce structurally identical round views; production code must never
+// call it. It returns the previous setting.
+func ForceFullMergeForTest(on bool) (prev bool) {
+	prev, testForceFullMerge = testForceFullMerge, on
+	return prev
+}
+
 // Receive merges a broadcast envelope into the inbox (Algorithm 1 lines
 // 13–14: M_i[k] := M_i[k] ∪ M). Envelopes arriving after the process halted
 // are ignored. The envelope must be in full form (Refs resolved by the
 // transport); unresolved Refs are ignored — harmless under reliable
 // broadcast, where every referenced payload also arrives in full in the
 // sender's earlier envelope.
+//
+// Dominance-aware skipping: when the envelope carries a non-zero
+// SetFingerprint and the round's stored set already dominates it — the
+// stored set is structurally identical (equal set-fingerprint), or an
+// envelope with the same set-fingerprint was already merged in full — the
+// element-wise merge is skipped entirely. The skip is sound because set
+// merging is idempotent and monotone and fingerprint equality is
+// structural equality, so a dominated envelope cannot add an element,
+// cannot extend Fresh, and cannot change Delivered. At steady state
+// (every process broadcasting the same converged set) this turns the
+// common-case delivery into one fingerprint comparison.
 func (p *Proc) Receive(env Envelope) {
 	if p.halted {
 		return
 	}
-	p.merge(env.Round, env.Payloads)
+	if !env.SetFingerprint.IsZero() && !testForceFullMerge {
+		if ri := p.roundAt(env.Round); ri != nil && ri.dominates(env.SetFingerprint) {
+			p.mergeSkips++
+			return
+		}
+	}
+	ri := p.merge(env.Round, env.Payloads)
+	ri.recordMerged(env.SetFingerprint)
 }
 
 // takeRoundInbox returns a cleared round inbox, reusing recycled storage
@@ -301,12 +494,39 @@ func (p *Proc) takeRoundInbox() *roundInbox {
 	return newRoundInbox()
 }
 
-func (p *Proc) merge(round int, payloads []Payload) {
-	ri := p.inbox[round]
+// ensureRound returns (allocating if needed) the storage for round k.
+// Negative rounds (possible only from a garbage envelope) share one inbox
+// with round 0 rather than growing state; they are never read back.
+func (p *Proc) ensureRound(k int) *roundInbox {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(p.inbox)+farRoundSlack {
+		if p.far == nil {
+			p.far = make(map[int]*roundInbox)
+		}
+		ri := p.far[k]
+		if ri == nil {
+			ri = p.takeRoundInbox()
+			p.far[k] = ri
+		}
+		return ri
+	}
+	for k >= len(p.inbox) {
+		// Grow by appending nil slots; append's amortized doubling keeps
+		// this O(1) per round over a run.
+		p.inbox = append(p.inbox, nil)
+	}
+	ri := p.inbox[k]
 	if ri == nil {
 		ri = p.takeRoundInbox()
-		p.inbox[round] = ri
+		p.inbox[k] = ri
 	}
+	return ri
+}
+
+func (p *Proc) merge(round int, payloads []Payload) *roundInbox {
+	ri := p.ensureRound(round)
 	for _, pay := range payloads {
 		key, fp := payloadCanon(pay)
 		if ri.insert(key, fp, pay) {
@@ -314,6 +534,7 @@ func (p *Proc) merge(round int, payloads []Payload) {
 			p.delivered++
 		}
 	}
+	return ri
 }
 
 // EndOfRound performs one end-of-round input action (Algorithm 1 lines
@@ -342,9 +563,8 @@ func (p *Proc) EndOfRound() (Envelope, bool) {
 	}
 	p.fresh = nil // consumed by the Compute call that just ran
 	p.lastOwn = pay
-	p.merge(p.round+1, []Payload{pay})
+	ri := p.merge(p.round+1, []Payload{pay})
 	p.round++
-	ri := p.inbox[p.round]
 	return Envelope{
 		Round:          p.round,
 		Payloads:       ri.snapshot(),
@@ -361,7 +581,7 @@ func (p *Proc) LastOwnPayload() Payload { return p.lastOwn }
 // InboxSize returns the number of distinct payloads stored for round k,
 // for tests and metrics.
 func (p *Proc) InboxSize(k int) int {
-	ri := p.inbox[k]
+	ri := p.roundAt(k)
 	if ri == nil {
 		return 0
 	}
@@ -369,7 +589,15 @@ func (p *Proc) InboxSize(k int) int {
 }
 
 // InboxRounds returns the number of rounds with stored payloads.
-func (p *Proc) InboxRounds() int { return len(p.inbox) }
+func (p *Proc) InboxRounds() int {
+	n := len(p.far)
+	for _, ri := range p.inbox {
+		if ri != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // CompactBefore drops all inbox rounds < k. Algorithms 2 and 3 only ever
 // read the current round, so drivers
@@ -379,20 +607,30 @@ func (p *Proc) InboxRounds() int { return len(p.inbox) }
 // like Algorithm 4 but means compaction must not be combined with
 // exactly-once delivery accounting.
 func (p *Proc) CompactBefore(k int) {
+	if k > len(p.inbox) {
+		k = len(p.inbox)
+	}
+	for round := 0; round < k; round++ {
+		if ri := p.inbox[round]; ri != nil {
+			ri.recycle()
+			p.spare = append(p.spare, ri)
+			p.inbox[round] = nil
+		}
+	}
 	//detlint:ordered per-entry recycle+delete; spares are interchangeable (cleared before reuse, only warm capacity differs)
-	for round, ri := range p.inbox {
+	for round, ri := range p.far {
 		if round < k {
 			ri.recycle()
 			p.spare = append(p.spare, ri)
-			delete(p.inbox, round)
+			delete(p.far, round)
 		}
 	}
 }
 
 // Reset rearms the framework state around a fresh automaton so repeated
 // trial loops can reuse one Proc per slot instead of cold-allocating: the
-// inbox map keeps its buckets and every round inbox is recycled into the
-// spare list consumed by future merges. After Reset the Proc is
+// flat inbox array keeps its capacity and every round inbox is recycled
+// into the spare list consumed by future merges. After Reset the Proc is
 // indistinguishable from NewProc(aut) except for warm storage.
 func (p *Proc) Reset(aut Automaton) {
 	p.aut = aut
@@ -402,10 +640,19 @@ func (p *Proc) Reset(aut Automaton) {
 	p.decision = Decision{}
 	p.lastOwn = nil
 	p.delivered = 0
-	//detlint:ordered per-entry recycle+delete; spares are interchangeable (cleared before reuse, only warm capacity differs)
+	p.mergeSkips = 0
 	for round, ri := range p.inbox {
+		if ri != nil {
+			ri.recycle()
+			p.spare = append(p.spare, ri)
+			p.inbox[round] = nil
+		}
+	}
+	p.inbox = p.inbox[:0]
+	//detlint:ordered per-entry recycle+delete; spares are interchangeable (cleared before reuse, only warm capacity differs)
+	for round, ri := range p.far {
 		ri.recycle()
 		p.spare = append(p.spare, ri)
-		delete(p.inbox, round)
+		delete(p.far, round)
 	}
 }

@@ -20,6 +20,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"anonconsensus/internal/env"
 	"anonconsensus/internal/giraf"
@@ -57,6 +58,17 @@ type Config struct {
 	// OnRound, if non-nil, runs after every global step with the step
 	// number; use it to sample custom per-round metrics.
 	OnRound func(round int, e *Engine)
+	// DeliverWorkers shards each step's due-delivery fan-out across this
+	// many goroutines, partitioned by receiver index with a barrier per
+	// step — the intra-run parallelism a single big-n run needs where
+	// RunBatch (which parallelizes across runs) cannot help. 0 and 1 mean
+	// sequential. Output is byte-identical at any setting: receivers are
+	// partitioned disjointly (workers never share a Proc), every worker
+	// scans the step's queue in order so per-receiver delivery order is
+	// unchanged, and counters are summed over the fixed worker index
+	// order. Runs that record a trace deliver sequentially regardless
+	// (trace recording appends to one shared log).
+	DeliverWorkers int
 	// CompactInboxes drops inbox rounds older than the previous round after
 	// every step, keeping memory flat on long runs. Only valid for automata
 	// that read just the current round (Algorithms 2 and 3 — not
@@ -86,6 +98,9 @@ func (c *Config) validate() error {
 		if step := c.Crashes[pid]; step < 0 {
 			return fmt.Errorf("sim: crash step %d for process %d is negative", step, pid)
 		}
+	}
+	if c.DeliverWorkers < 0 {
+		return fmt.Errorf("sim: DeliverWorkers = %d, must be non-negative", c.DeliverWorkers)
 	}
 	if err := c.Scenario.Validate(c.N); err != nil {
 		return fmt.Errorf("sim: %w", err)
@@ -126,6 +141,11 @@ type Metrics struct {
 	// Duplicated is the number of extra deliveries injected by the
 	// scenario's duplication rate (0 without a scenario).
 	Duplicated int
+	// MergesSkipped is the number of delivered envelopes whose element-wise
+	// inbox merge the dominance check skipped because the receiver's round
+	// view already dominated the envelope's set fingerprint (see
+	// PERFORMANCE.md). A skipped delivery still counts in Deliveries.
+	MergesSkipped int
 }
 
 // Result is the outcome of Run.
@@ -200,12 +220,21 @@ func (r *Result) CheckValidity(proposals values.Set) error {
 	return nil
 }
 
-// pendingDelivery is an envelope scheduled for a future step.
+// pendingDelivery is an envelope scheduled for a future step. A receiver
+// of fanOutAll means "every process except the sender": uniform-delay
+// broadcasts in scenario-free runs collapse to one ring entry instead of
+// n-1, and deliverDue expands them in ascending receiver order — exactly
+// the order the per-receiver entries would have been queued in, so the
+// collapse is invisible to delivery order and byte-identity pins.
 type pendingDelivery struct {
 	receiver int
 	sender   int
 	env      giraf.Envelope
 }
+
+// fanOutAll is the pendingDelivery.receiver sentinel for a collapsed
+// uniform-delay broadcast entry.
+const fanOutAll = -1
 
 // dueRingHint is the initial delivery-ring window. Policy delays are
 // small in practice (the MS/Async default bound is 3), so eight slots
@@ -234,7 +263,35 @@ type Engine struct {
 	stepNum int
 	metrics Metrics
 	trace   *Trace
+	// crash is the flattened crash schedule: crash[i] is the earliest step
+	// at which process i crashes, crashNever if it never does. Built once
+	// per Reset so the hot loops test a slice element instead of probing
+	// the Crashes map and the scenario per call.
+	crash []int
+	// outs and senders are step's scratch buffers, reused across steps.
+	outs    []outMsg
+	senders []int
+	// workerCnt holds per-worker delivery/drop counters for the sharded
+	// delivery path, reused across steps.
+	workerCnt []workerCounters
 }
+
+// outMsg is one process's broadcast for the step being executed.
+type outMsg struct {
+	sender int
+	env    giraf.Envelope
+}
+
+// workerCounters is one delivery worker's share of the step metrics.
+type workerCounters struct {
+	delivered int
+	dropped   int
+	// pad keeps adjacent workers' counters off the same cache line.
+	_ [6]uint64
+}
+
+// crashNever marks a process with no scheduled crash.
+const crashNever = int(^uint(0) >> 1)
 
 // New builds an engine; it returns an error on invalid configuration.
 func New(cfg Config) (*Engine, error) {
@@ -282,6 +339,21 @@ func (e *Engine) Reset(cfg Config) error {
 			e.due[i] = truncatePending(e.due[i])
 		}
 	}
+	if cap(e.crash) >= cfg.N {
+		e.crash = e.crash[:cfg.N]
+	} else {
+		e.crash = make([]int, cfg.N)
+	}
+	for i := range e.crash {
+		cs, ok := cfg.Crashes[i]
+		if ss, sok := cfg.Scenario.CrashRound(i); sok && (!ok || ss < cs) {
+			cs, ok = ss, true
+		}
+		if !ok {
+			cs = crashNever
+		}
+		e.crash[i] = cs
+	}
 	e.stepNum = 0
 	e.metrics = Metrics{}
 	e.trace = nil
@@ -293,8 +365,12 @@ func (e *Engine) Reset(cfg Config) error {
 
 // truncatePending empties a delivery slice for reuse, dropping envelope
 // references so recycled slots don't pin payloads from finished runs.
+// Clearing only [0:len) suffices: the region beyond len is either
+// never-written or was zeroed by an earlier truncation, so a full-capacity
+// clear would just rewrite zeros (which profiling showed dominating
+// memclr time at n=256).
 func truncatePending(s []pendingDelivery) []pendingDelivery {
-	clear(s[:cap(s)])
+	clear(s)
 	return s[:0]
 }
 
@@ -335,19 +411,11 @@ func (e *Engine) Automaton(i int) giraf.Automaton { return e.auts[i] }
 func (e *Engine) N() int { return e.cfg.N }
 
 // crashStep returns the earliest scheduled crash step for pid across
-// Config.Crashes and the scenario's crash schedule, or ok=false.
+// Config.Crashes and the scenario's crash schedule, or ok=false. The
+// schedule is flattened into e.crash by Reset.
 func (e *Engine) crashStep(pid int) (int, bool) {
-	cs, ok := e.cfg.Crashes[pid]
-	if ss, sok := e.cfg.Scenario.CrashRound(pid); sok && (!ok || ss < cs) {
-		cs, ok = ss, true
-	}
-	return cs, ok
-}
-
-// crashedAt reports whether pid is crashed at step.
-func (e *Engine) crashedAt(pid, step int) bool {
-	cs, ok := e.crashStep(pid)
-	return ok && step >= cs
+	cs := e.crash[pid]
+	return cs, cs != crashNever
 }
 
 // Run executes the simulation and returns the result. Run must be called
@@ -384,7 +452,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		}
 		allDone = true
 		for i := range e.procs {
-			if !e.crashedAt(i, step) && !e.procs[i].Halted() {
+			if step < e.crash[i] && !e.procs[i].Halted() {
 				allDone = false
 				break
 			}
@@ -394,6 +462,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	for i, p := range e.procs {
 		st := &e.status[i]
 		st.LastRound = p.CurrentRound()
+		e.metrics.MergesSkipped += p.MergeSkips()
 		if d := p.Decision(); d.Decided {
 			st.Decided = true
 			st.Decision = d.Value
@@ -419,38 +488,140 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 }
 
 // deliverDue merges all envelopes scheduled for this step into receivers
-// and recycles the ring slot for step+len(due).
+// and recycles the ring slot for step+len(due). When Config.DeliverWorkers
+// asks for intra-run parallelism (and no trace is being recorded), the
+// queue is sharded by receiver index across workers with a barrier before
+// returning; sharding is output-identical to the sequential path, so it is
+// gated only by a cost heuristic.
 func (e *Engine) deliverDue(step int) {
 	slot := step % len(e.due)
-	for _, d := range e.due[slot] {
-		if e.crashedAt(d.receiver, step) {
-			continue
-		}
-		// Scenario loss and partitions act at delivery time: the envelope
-		// was broadcast and scheduled, it just never arrives.
-		if sc := e.cfg.Scenario; sc != nil && sc.Drops(d.env.Round, d.sender, d.receiver) {
-			e.metrics.Dropped++
-			continue
-		}
-		e.procs[d.receiver].Receive(d.env)
-		e.metrics.Deliveries++
-		if e.trace != nil {
-			e.trace.recordDelivery(d.env.Round, d.sender, d.receiver, step)
-		}
+	q := e.due[slot]
+	if len(q) == 0 {
+		return
+	}
+	if w := e.deliverWorkers(q); w > 1 {
+		e.deliverSharded(step, q, w)
+	} else {
+		delivered, dropped := e.deliverShard(step, q, 0, 1)
+		e.metrics.Deliveries += delivered
+		e.metrics.Dropped += dropped
 	}
 	e.due[slot] = truncatePending(e.due[slot])
+}
+
+// shardMinWork is the expanded-delivery count below which sharding isn't
+// worth a barrier. Output is identical either way; this is purely a cost
+// threshold.
+const shardMinWork = 256
+
+// deliverWorkers resolves the worker count for one step's queue.
+func (e *Engine) deliverWorkers(q []pendingDelivery) int {
+	w := e.cfg.DeliverWorkers
+	if w <= 1 || e.trace != nil {
+		// Trace recording appends to one shared log in delivery order;
+		// keep it on the sequential path.
+		return 1
+	}
+	work := 0
+	for _, d := range q {
+		if d.receiver == fanOutAll {
+			work += e.cfg.N - 1
+		} else {
+			work++
+		}
+	}
+	if work < shardMinWork {
+		return 1
+	}
+	if w > e.cfg.N {
+		w = e.cfg.N
+	}
+	return w
+}
+
+// deliverSharded fans one step's queue across workers partitioned by
+// receiver index (receiver r belongs to worker r % workers). Workers never
+// share a Proc, every worker scans the queue in order so per-receiver
+// delivery order matches the sequential path, and the per-worker counters
+// are folded into the metrics in worker-index order — three properties
+// that together make the sharded path byte-identical to the sequential
+// one.
+func (e *Engine) deliverSharded(step int, q []pendingDelivery, workers int) {
+	if cap(e.workerCnt) >= workers {
+		e.workerCnt = e.workerCnt[:workers]
+	} else {
+		e.workerCnt = make([]workerCounters, workers)
+	}
+	var wg sync.WaitGroup
+	for wid := 1; wid < workers; wid++ {
+		wg.Add(1)
+		//detlint:goroutine bounded per-step delivery shard; receiver-partitioned disjoint state, barrier via wg.Wait before deliverDue returns
+		go func(wid int) {
+			defer wg.Done()
+			delivered, dropped := e.deliverShard(step, q, wid, workers)
+			e.workerCnt[wid] = workerCounters{delivered: delivered, dropped: dropped}
+		}(wid)
+	}
+	delivered, dropped := e.deliverShard(step, q, 0, workers)
+	e.workerCnt[0] = workerCounters{delivered: delivered, dropped: dropped}
+	wg.Wait()
+	for i := range e.workerCnt {
+		e.metrics.Deliveries += e.workerCnt[i].delivered
+		e.metrics.Dropped += e.workerCnt[i].dropped
+	}
+}
+
+// deliverShard performs worker wid's share of one step's deliveries:
+// receivers congruent to wid modulo workers. It is the single delivery
+// loop both the sequential path (wid=0, workers=1) and every shard run.
+func (e *Engine) deliverShard(step int, q []pendingDelivery, wid, workers int) (delivered, dropped int) {
+	sc := e.cfg.Scenario
+	for _, d := range q {
+		if d.receiver != fanOutAll {
+			r := d.receiver
+			if workers > 1 && r%workers != wid {
+				continue
+			}
+			if step >= e.crash[r] {
+				continue
+			}
+			// Scenario loss and partitions act at delivery time: the
+			// envelope was broadcast and scheduled, it just never arrives.
+			if sc != nil && sc.Drops(d.env.Round, d.sender, r) {
+				dropped++
+				continue
+			}
+			e.procs[r].Receive(d.env)
+			delivered++
+			if e.trace != nil {
+				e.trace.recordDelivery(d.env.Round, d.sender, r, step)
+			}
+			continue
+		}
+		// Collapsed uniform-delay broadcast: expand to every receiver in
+		// ascending order (r starts at wid, which is 0 on the sequential
+		// path). Fan-out entries are only scheduled when Scenario == nil,
+		// so no drop check is needed.
+		for r := wid; r < e.cfg.N; r += workers {
+			if r == d.sender || step >= e.crash[r] {
+				continue
+			}
+			e.procs[r].Receive(d.env)
+			delivered++
+			if e.trace != nil {
+				e.trace.recordDelivery(d.env.Round, d.sender, r, step)
+			}
+		}
+	}
+	return delivered, dropped
 }
 
 // step runs the end-of-round for every live process and schedules the
 // resulting broadcasts with policy-chosen delays.
 func (e *Engine) step(step int) {
-	type outMsg struct {
-		sender int
-		env    giraf.Envelope
-	}
-	var outs []outMsg
+	outs := e.outs[:0]
 	for i, p := range e.procs {
-		if e.crashedAt(i, step) || p.Halted() {
+		if step >= e.crash[i] || p.Halted() {
 			continue
 		}
 		env, ok := p.EndOfRound()
@@ -476,14 +647,16 @@ func (e *Engine) step(step int) {
 		}
 		outs = append(outs, outMsg{sender: i, env: env})
 	}
+	e.outs = outs // keep grown capacity for the next step
 	if len(outs) == 0 {
 		return
 	}
 	round := outs[0].env.Round // == step+1 for all senders (lockstep)
-	senders := make([]int, len(outs))
-	for i, o := range outs {
-		senders[i] = o.sender
+	senders := e.senders[:0]
+	for _, o := range outs {
+		senders = append(senders, o.sender)
 	}
+	e.senders = senders
 	delay := e.cfg.Policy.Schedule(round, senders, e.cfg.N)
 	for _, o := range outs {
 		if e.trace != nil {
@@ -494,6 +667,21 @@ func (e *Engine) step(step int) {
 		e.metrics.PayloadBytes += size
 		if size > e.metrics.MaxEnvelopeBytes {
 			e.metrics.MaxEnvelopeBytes = size
+		}
+		// Fan-out collapse: in scenario-free runs, if the policy assigned
+		// every receiver of this sender the same delay (the overwhelmingly
+		// common case — Synchronous and post-GST ES are uniformly 0),
+		// schedule one fanOutAll entry instead of n-1 per-receiver ones.
+		// DelayFn is pure per round (policies pre-draw their delay
+		// matrices), so probing it twice is safe.
+		if e.cfg.Scenario == nil && e.cfg.N > 1 {
+			if d0, uniform := uniformDelay(delay, o.sender, e.cfg.N); uniform {
+				if d0 < 0 {
+					panic(fmt.Sprintf("sim: policy returned negative delay %d", d0))
+				}
+				e.schedule(round+d0, pendingDelivery{receiver: fanOutAll, sender: o.sender, env: o.env})
+				continue
+			}
 		}
 		for r := 0; r < e.cfg.N; r++ {
 			if r == o.sender {
@@ -526,10 +714,39 @@ func (e *Engine) step(step int) {
 	}
 }
 
+// uniformDelay reports whether delay assigns every receiver of sender the
+// same delay, returning that delay. With fewer than two receivers there is
+// nothing to deliver and the caller's guard keeps this unreached for n<=1.
+func uniformDelay(delay env.DelayFn, sender, n int) (int, bool) {
+	d0 := -1
+	for r := 0; r < n; r++ {
+		if r == sender {
+			continue
+		}
+		d := delay(sender, r)
+		if d0 < 0 {
+			d0 = d
+			continue
+		}
+		if d != d0 {
+			return 0, false
+		}
+	}
+	return d0, true
+}
+
+// envelopeBytes is the canonical-encoding size of one envelope: 8 bytes of
+// round number plus each payload's canonical key length. Payloads that
+// implement giraf.PayloadSizer (all the core algorithms') report the
+// cached size directly instead of materializing the key string.
 func envelopeBytes(env giraf.Envelope) int {
 	total := 8 // round number
 	for _, p := range env.Payloads {
-		total += len(p.PayloadKey())
+		if s, ok := p.(giraf.PayloadSizer); ok {
+			total += s.PayloadEncodedSize()
+		} else {
+			total += len(p.PayloadKey())
+		}
 	}
 	return total
 }

@@ -212,11 +212,19 @@ func IntersectAll(sets []Set) Set {
 	return out
 }
 
-// UnionAll unions all given sets.
+// UnionAll unions all given sets. The result is sized for the worst case
+// (all sets disjoint) up front, so building a large union never rehashes.
 func UnionAll(sets []Set) Set {
-	out := NewSet()
+	total := 0
 	for _, t := range sets {
-		out.AddAll(t)
+		total += t.Len()
+	}
+	out := Set{m: make(map[Value]struct{}, total), c: &setCtl{}}
+	for _, t := range sets {
+		//detlint:ordered map copy; the resulting set is visit-order-independent
+		for v := range t.m {
+			out.m[v] = struct{}{}
+		}
 	}
 	return out
 }
@@ -248,10 +256,15 @@ func (s Set) Equal(t Set) bool {
 	return true
 }
 
-// SubsetOf reports whether every value of s is in t.
+// SubsetOf reports whether every value of s is in t. When both sets have
+// settled canonical forms and the same fingerprint they are equal (hence
+// trivially subsets) without touching either map.
 func (s Set) SubsetOf(t Set) bool {
 	if s.Len() > t.Len() {
 		return false
+	}
+	if sc, tc := s.loadCanon(), t.loadCanon(); sc != nil && tc != nil && sc.fp == tc.fp {
+		return true
 	}
 	//detlint:ordered universally quantified membership check; visit order cannot change the verdict
 	for v := range s.m {

@@ -72,6 +72,8 @@ func NumOf(v Value) (int64, error) {
 // encodeString appends a length-prefixed copy of s to b. Length prefixing
 // makes concatenated encodings unambiguous, which keeps all keys canonical.
 func encodeString(b *strings.Builder, s string) {
-	fmt.Fprintf(b, "%d:", len(s))
+	var buf [20]byte // enough for any int length
+	b.Write(strconv.AppendInt(buf[:0], int64(len(s)), 10))
+	b.WriteByte(':')
 	b.WriteString(s)
 }

@@ -12,11 +12,14 @@ type setPayload struct{ proposed values.Set }
 var (
 	_ giraf.Payload       = setPayload{}
 	_ giraf.Fingerprinted = setPayload{}
+	_ giraf.PayloadSizer  = setPayload{}
 )
 
 func (p setPayload) PayloadKey() string { return p.proposed.Key() }
 
 func (p setPayload) PayloadFingerprint() values.Fingerprint { return p.proposed.Fingerprint() }
+
+func (p setPayload) PayloadEncodedSize() int { return p.proposed.EncodedSize() }
 
 // AddRecord is the completed lifetime of one add operation, in rounds.
 type AddRecord struct {

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
@@ -144,7 +145,8 @@ func main() {
 // reads the last run of each trajectory file and reports, benchmark by
 // benchmark, the ns/op delta; any regression beyond the threshold makes
 // the exit status nonzero. Benchmarks present on only one side are
-// warned about, never failed on, so suites can grow.
+// reported as ADDED/REMOVED and summarized, never failed on, so suites
+// can grow and benchmarks can be renamed without breaking the gate.
 func runCompare(args []string) int {
 	threshold := 20.0
 	var files []string
@@ -191,19 +193,38 @@ func runCompare(args []string) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
+	fmt.Printf("comparing %q (old: %s) vs %q (new: %s), threshold %.0f%%\n",
+		oldRun.Label, files[0], newRun.Label, files[1], threshold)
+	regressions, added, removed := compareRuns(os.Stdout, oldRun, newRun, threshold)
+	if added+removed > 0 {
+		// Additions and removals are informational, never failures: the
+		// gate must survive benchmark renames and suite growth.
+		fmt.Printf("benchjson: %d benchmark(s) added, %d removed (not gated)\n", added, removed)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold)
+		return 1
+	}
+	fmt.Println("benchjson: no regressions beyond threshold")
+	return 0
+}
+
+// compareRuns reports the benchmark-by-benchmark ns/op delta of two runs
+// to w. Benchmarks present on only one side are reported as ADDED or
+// REMOVED and counted separately from regressions — a renamed benchmark
+// shows up as one of each and never fails the gate.
+func compareRuns(w io.Writer, oldRun, newRun BenchRun, threshold float64) (regressions, added, removed int) {
 	oldBy := make(map[string]BenchResult, len(oldRun.Results))
 	for _, r := range oldRun.Results {
 		oldBy[r.Name] = r
 	}
-	fmt.Printf("comparing %q (old: %s) vs %q (new: %s), threshold %.0f%%\n",
-		oldRun.Label, files[0], newRun.Label, files[1], threshold)
-	regressions := 0
 	seen := make(map[string]bool, len(newRun.Results))
 	for _, nr := range newRun.Results {
 		seen[nr.Name] = true
 		or, ok := oldBy[nr.Name]
 		if !ok {
-			fmt.Printf("  %-40s NEW (%.0f ns/op, no baseline)\n", nr.Name, nr.NsPerOp)
+			added++
+			fmt.Fprintf(w, "  %-40s ADDED (%.0f ns/op, no baseline)\n", nr.Name, nr.NsPerOp)
 			continue
 		}
 		if or.NsPerOp <= 0 {
@@ -215,19 +236,15 @@ func runCompare(args []string) int {
 			verdict = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("  %-40s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, verdict)
+		fmt.Fprintf(w, "  %-40s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, verdict)
 	}
 	for _, or := range oldRun.Results {
 		if !seen[or.Name] {
-			fmt.Printf("  %-40s MISSING from new run (was %.0f ns/op)\n", or.Name, or.NsPerOp)
+			removed++
+			fmt.Fprintf(w, "  %-40s REMOVED (was %.0f ns/op)\n", or.Name, or.NsPerOp)
 		}
 	}
-	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold)
-		return 1
-	}
-	fmt.Println("benchjson: no regressions beyond threshold")
-	return 0
+	return regressions, added, removed
 }
 
 // lastRun loads a trajectory file and returns its most recent run.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -72,6 +73,47 @@ func TestCompareNewAndMissingBenchmarksAreNotFailures(t *testing.T) {
 	}})
 	if code := runCompare([]string{old, next}); code != 0 {
 		t.Errorf("grown/shrunk suite exited %d, want 0", code)
+	}
+}
+
+// TestCompareRunsRenameTolerance pins the gate's survival of a benchmark
+// rename: the old name is reported as REMOVED, the new one as ADDED, and
+// neither counts as a regression.
+func TestCompareRunsRenameTolerance(t *testing.T) {
+	oldRun := BenchRun{Label: "base", Results: []BenchResult{
+		{Name: "Kept", NsPerOp: 1000},
+		{Name: "OldName", NsPerOp: 500},
+	}}
+	newRun := BenchRun{Label: "next", Results: []BenchResult{
+		{Name: "Kept", NsPerOp: 1050},
+		{Name: "NewName", NsPerOp: 480},
+	}}
+	var b strings.Builder
+	regressions, added, removed := compareRuns(&b, oldRun, newRun, 20)
+	if regressions != 0 {
+		t.Errorf("rename counted as %d regression(s)\n%s", regressions, b.String())
+	}
+	if added != 1 || removed != 1 {
+		t.Errorf("added=%d removed=%d, want 1 and 1", added, removed)
+	}
+	out := b.String()
+	if !strings.Contains(out, "NewName") || !strings.Contains(out, "ADDED") {
+		t.Errorf("output missing ADDED report:\n%s", out)
+	}
+	if !strings.Contains(out, "OldName") || !strings.Contains(out, "REMOVED") {
+		t.Errorf("output missing REMOVED report:\n%s", out)
+	}
+}
+
+// TestCompareRunsZeroBaseline pins that a zero old ns/op is skipped rather
+// than dividing by zero.
+func TestCompareRunsZeroBaseline(t *testing.T) {
+	var b strings.Builder
+	regressions, _, _ := compareRuns(&b,
+		BenchRun{Results: []BenchResult{{Name: "A", NsPerOp: 0}}},
+		BenchRun{Results: []BenchResult{{Name: "A", NsPerOp: 100}}}, 20)
+	if regressions != 0 {
+		t.Error("zero baseline counted as regression")
 	}
 }
 
