@@ -24,7 +24,7 @@ BENCH_THRESHOLD ?= 100
 STATICCHECK_MOD ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK_MOD ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: test race build vet lint lint-external bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke
+.PHONY: test race build vet lint lint-external bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,17 @@ fuzz-smoke:
 # random adversary) that CI runs on every push.
 scenarios-smoke:
 	$(GO) run ./cmd/anonsim -exp S1 -quick
+
+# chaos-smoke is the live plane's resilience pass, run by CI on every
+# push: the netchaos package (seeded sever/stall/half-close/blackout
+# schedules plus the chaos consensus property test), the tcpnet
+# reconnect / session-resumption / heartbeat / hub kill+restart tests,
+# and the root-level chaos tests that cut one node's link mid-run — all
+# under the race detector, in short mode, well under a minute.
+chaos-smoke:
+	$(GO) test -race -short -count=1 ./internal/netchaos
+	$(GO) test -race -short -count=1 -run 'Reconnect|HubRestart|NeverHeals|Heartbeat|Overwhelm' ./internal/tcpnet
+	$(GO) test -race -short -count=1 -run 'TestTCPChaos' .
 
 # explore-smoke is the exploration plane's quick pass, run by CI on every
 # push: the exhaustive n=2 space (X1 quick), 10k randomized PCT-style

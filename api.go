@@ -189,6 +189,29 @@ type Decision struct {
 	Crashed bool
 }
 
+// Robustness counts the network-failure events a run survived. Only the
+// TCP transport populates it (the sim and live backends have no network
+// to lose); a zero Robustness means an undisturbed run.
+type Robustness struct {
+	// Reconnects counts hub connections re-established after a loss,
+	// summed over all nodes.
+	Reconnects int
+	// ReplayedFrames counts frames the hub re-sent from session logs on
+	// resumption.
+	ReplayedFrames int
+	// FailedDials counts redial attempts that did not produce a session.
+	FailedDials int
+	// HeartbeatMisses counts hub probe intervals that elapsed
+	// unacknowledged (slow consumers accumulate a few and recover).
+	HeartbeatMisses int
+	// DroppedConns counts connections the hub itself severed (heartbeat
+	// dead or overwhelmed past the grace window).
+	DroppedConns int
+	// OverwhelmedDrops is the subset of DroppedConns due to an outbound
+	// queue stuck over the high-water mark.
+	OverwhelmedDrops int
+}
+
 // Result is the outcome of Solve or Simulate.
 type Result struct {
 	Decisions []Decision
@@ -196,6 +219,9 @@ type Result struct {
 	Rounds int
 	// Elapsed is the wall-clock duration (Solve) or 0 (Simulate).
 	Elapsed time.Duration
+	// Robustness reports the network-failure events the run survived (TCP
+	// transport only).
+	Robustness Robustness
 }
 
 // Agreed returns the single decided value when every non-crashed process

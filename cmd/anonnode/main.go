@@ -12,7 +12,11 @@
 //	anonnode -connect 127.0.0.1:7777 -propose 41 -env es
 //	anonnode -connect 127.0.0.1:7777 -propose 17 -env es
 //
-// Every node prints the agreed value and exits.
+// Every node prints the agreed value and exits. Nodes survive transient
+// network failure: a lost hub connection is redialed with backoff and the
+// hub session resumed (-reconnect bounds the attempts; -reconnect=-1
+// restores fail-fast). The hub prints its robustness counters — sessions,
+// resumptions, heartbeat misses, dropped connections — when it stops.
 package main
 
 import (
@@ -28,28 +32,29 @@ import (
 
 func main() {
 	var (
-		hub      = flag.Bool("hub", false, "run the broadcast hub")
-		listen   = flag.String("listen", "127.0.0.1:7777", "hub listen address")
-		connect  = flag.String("connect", "", "hub address to join as a node")
-		propose  = flag.Int64("propose", -1, "value to propose (node mode)")
-		env      = flag.String("env", "es", "algorithm: es (Algorithm 2) or ess (Algorithm 3)")
-		interval = flag.Duration("interval", 50*time.Millisecond, "round timer period")
-		timeout  = flag.Duration("timeout", 60*time.Second, "node run timeout")
+		hub       = flag.Bool("hub", false, "run the broadcast hub")
+		listen    = flag.String("listen", "127.0.0.1:7777", "hub listen address")
+		connect   = flag.String("connect", "", "hub address to join as a node")
+		propose   = flag.Int64("propose", -1, "value to propose (node mode)")
+		env       = flag.String("env", "es", "algorithm: es (Algorithm 2) or ess (Algorithm 3)")
+		interval  = flag.Duration("interval", 50*time.Millisecond, "round timer period")
+		timeout   = flag.Duration("timeout", 60*time.Second, "node run timeout")
+		reconnect = flag.Int("reconnect", 0, "max redials per connection outage (0 = default, -1 = fail fast)")
 	)
 	flag.Parse()
 
-	if err := run(*hub, *listen, *connect, *propose, *env, *interval, *timeout); err != nil {
+	if err := run(*hub, *listen, *connect, *propose, *env, *interval, *timeout, *reconnect); err != nil {
 		fmt.Fprintln(os.Stderr, "anonnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hub bool, listen, connect string, propose int64, env string, interval, timeout time.Duration) error {
+func run(hub bool, listen, connect string, propose int64, env string, interval, timeout time.Duration, reconnect int) error {
 	switch {
 	case hub:
 		return runHub(listen)
 	case connect != "":
-		return runNode(connect, propose, env, interval, timeout)
+		return runNode(connect, propose, env, interval, timeout, reconnect)
 	default:
 		flag.Usage()
 		return fmt.Errorf("pass -hub to relay or -connect to join")
@@ -67,11 +72,13 @@ func runHub(listen string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	<-ctx.Done()
-	fmt.Println("hub stopping")
+	s := h.Stats()
+	fmt.Printf("hub stopping: %d sessions, %d resumed (%d frames replayed), %d heartbeat misses, %d conns dropped (%d overwhelmed)\n",
+		s.Sessions, s.Reconnects, s.ReplayedFrames, s.HeartbeatMisses, s.DroppedConns, s.OverwhelmedDrops)
 	return nil
 }
 
-func runNode(addr string, propose int64, envName string, interval, timeout time.Duration) error {
+func runNode(addr string, propose int64, envName string, interval, timeout time.Duration, reconnect int) error {
 	if propose < 0 {
 		return fmt.Errorf("node mode needs -propose <non-negative value>")
 	}
@@ -86,6 +93,7 @@ func runNode(addr string, propose int64, envName string, interval, timeout time.
 		anonconsensus.WithEnv(env),
 		anonconsensus.WithInterval(interval),
 		anonconsensus.WithTimeout(timeout),
+		anonconsensus.WithReconnect(anonconsensus.ReconnectPolicy{MaxAttempts: reconnect}),
 	)
 	if err != nil {
 		return err

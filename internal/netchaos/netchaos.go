@@ -1,0 +1,387 @@
+// Package netchaos injects network failure into the live TCP plane: a
+// proxy interposed between consensus nodes and their hub that severs,
+// stalls, half-closes, and blacks out connections on a schedule.
+//
+// Schedules are data (a list of timed events per proxied connection), and
+// RandomSchedule derives one deterministically from a seed — the same
+// seed always produces the same event list, so a failing chaos run is
+// rerun by naming its seed. The proxy applies events relative to each
+// connection's accept time using wall-clock timers, so the *realization*
+// is only as deterministic as the scheduler and the network stack — like
+// everything in the live plane, chaos runs assert properties (Agreement,
+// Validity, Termination-when-healed), not byte-exact traces; the sim
+// plane owns those.
+//
+// The proxy is failure-injection only: it never reorders, corrupts, or
+// drops individual bytes of a healthy connection. Loss and duplication of
+// whole frames belong to the hub's own fault plane
+// (tcpnet.WithForwardFault); netchaos breaks the *transport* underneath
+// the session layer, which is exactly what the reconnect/resume machinery
+// must survive.
+package netchaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// EventKind is one way a connection can suffer.
+type EventKind int
+
+const (
+	// Sever closes both legs of a proxied connection mid-flight. The
+	// endpoints see a reset/EOF; a resilient node reconnects.
+	Sever EventKind = iota
+	// Stall pauses relaying in both directions for the event's Dur: bytes
+	// queue but do not flow — a stuck link that heals, distinguishable
+	// from a dead one only by waiting.
+	Stall
+	// HalfClose shuts down the write side toward the target while leaving
+	// the reverse leg open — the classic half-open TCP failure where one
+	// direction works and the other silently doesn't.
+	HalfClose
+	// Blackout severs every live proxied connection and refuses new dials
+	// until the event's Dur elapses (Dur 0: forever). Conn is ignored.
+	Blackout
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Sever:
+		return "sever"
+	case Stall:
+		return "stall"
+	case HalfClose:
+		return "half-close"
+	case Blackout:
+		return "blackout"
+	}
+	return "unknown"
+}
+
+// Event is one scheduled injection. Conn selects the proxied connection
+// by accept order (0-based); At is the delay after that connection is
+// accepted (for Blackout: after the proxy starts). Dur parameterizes
+// Stall and Blackout.
+type Event struct {
+	Conn int
+	At   time.Duration
+	Kind EventKind
+	Dur  time.Duration
+}
+
+// Schedule is a chaos plan. Events for the same connection fire in their
+// own goroutine timers; ordering between connections is not guaranteed
+// beyond the At offsets.
+type Schedule []Event
+
+// RandomSchedule derives a schedule from a seed: nEvents events spread
+// over conns connections within horizon, with kinds weighted toward
+// severs (the recoverable failure the resilience machinery exists for).
+// Stalls stay short relative to the horizon so they read as "slow", not
+// "dead". The same (seed, conns, nEvents, horizon) always yields the
+// same schedule.
+func RandomSchedule(seed int64, conns, nEvents int, horizon time.Duration) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	sched := make(Schedule, 0, nEvents)
+	for i := 0; i < nEvents; i++ {
+		ev := Event{
+			Conn: rng.Intn(conns),
+			// Land strictly inside the horizon, past the very start so the
+			// handshake usually completes before chaos hits it.
+			At: horizon/10 + time.Duration(rng.Int63n(int64(horizon*8/10))),
+		}
+		switch draw := rng.Intn(10); {
+		case draw < 6:
+			ev.Kind = Sever
+		case draw < 9:
+			ev.Kind = Stall
+			ev.Dur = time.Duration(rng.Int63n(int64(horizon / 5)))
+		default:
+			ev.Kind = HalfClose
+		}
+		sched = append(sched, ev)
+	}
+	return sched
+}
+
+// Stats counts what the proxy actually injected and carried.
+type Stats struct {
+	// Conns is the number of connections accepted.
+	Conns int
+	// Severed, Stalled, HalfClosed count applied events (a Blackout counts
+	// one Severed per live connection it kills).
+	Severed    int
+	Stalled    int
+	HalfClosed int
+	// Refused counts dials rejected during a blackout.
+	Refused int
+}
+
+// Proxy relays TCP connections to a target address while applying a
+// chaos schedule. Create with NewProxy, point nodes at Addr(), Close
+// when done.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	sched  Schedule
+
+	mu    sync.Mutex
+	stats Stats
+	down  bool
+	conns map[int]*proxiedConn
+	next  int
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+// proxiedConn is one relayed connection: both legs plus its stall gate.
+type proxiedConn struct {
+	client net.Conn
+	server net.Conn
+
+	gmu     sync.Mutex
+	stalled chan struct{} // non-nil while a stall is in effect; closed to release
+}
+
+// NewProxy starts a chaos proxy in front of target (a hub address),
+// listening on 127.0.0.1:0.
+func NewProxy(target string, sched Schedule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		sched:  sched,
+		conns:  make(map[int]*proxiedConn),
+		done:   make(chan struct{}),
+	}
+	for _, ev := range sched {
+		if ev.Kind == Blackout {
+			ev := ev
+			p.wg.Add(1)
+			go p.runBlackout(ev)
+		}
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — dial this instead of the
+// target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the injection counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close stops the proxy and severs everything still relayed.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	select {
+	case <-p.done:
+		p.mu.Unlock()
+		return nil
+	default:
+	}
+	close(p.done)
+	conns := make([]*proxiedConn, 0, len(p.conns))
+	for _, pc := range p.conns {
+		conns = append(conns, pc)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, pc := range conns {
+		pc.close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		refused := p.down
+		if refused {
+			p.stats.Refused++
+		}
+		idx := p.next
+		if !refused {
+			p.next++
+			p.stats.Conns++
+		}
+		p.mu.Unlock()
+		if refused {
+			_ = client.Close()
+			continue
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			_ = client.Close()
+			continue
+		}
+		pc := &proxiedConn{client: client, server: server}
+		p.mu.Lock()
+		p.conns[idx] = pc
+		p.mu.Unlock()
+
+		p.wg.Add(2)
+		go p.pump(pc, client, server, true)
+		go p.pump(pc, server, client, false)
+		for _, ev := range p.sched {
+			if ev.Conn == idx && ev.Kind != Blackout {
+				ev := ev
+				p.wg.Add(1)
+				go p.runEvent(pc, idx, ev)
+			}
+		}
+	}
+}
+
+// pump relays one direction through the stall gate, 32KB at a time.
+func (p *Proxy) pump(pc *proxiedConn, src, dst net.Conn, toServer bool) {
+	defer p.wg.Done()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			pc.gmu.Lock()
+			gate := pc.stalled
+			pc.gmu.Unlock()
+			if gate != nil {
+				select {
+				case <-gate:
+				case <-p.done:
+					return
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	// One dead direction kills the relay (except the surviving leg of a
+	// half-close, which holds its own reader).
+	if tc, ok := dst.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	_ = toServer // direction only matters for debugging
+}
+
+func (p *Proxy) runEvent(pc *proxiedConn, idx int, ev Event) {
+	defer p.wg.Done()
+	t := time.NewTimer(ev.At)
+	defer t.Stop()
+	select {
+	case <-p.done:
+		return
+	case <-t.C:
+	}
+	p.mu.Lock()
+	live := p.conns[idx] == pc
+	p.mu.Unlock()
+	if !live {
+		return
+	}
+	switch ev.Kind {
+	case Sever:
+		p.mu.Lock()
+		delete(p.conns, idx)
+		p.stats.Severed++
+		p.mu.Unlock()
+		pc.close()
+	case Stall:
+		pc.gmu.Lock()
+		if pc.stalled == nil {
+			pc.stalled = make(chan struct{})
+		}
+		gate := pc.stalled
+		pc.gmu.Unlock()
+		p.mu.Lock()
+		p.stats.Stalled++
+		p.mu.Unlock()
+		heal := time.NewTimer(ev.Dur)
+		defer heal.Stop()
+		select {
+		case <-p.done:
+		case <-heal.C:
+		}
+		pc.gmu.Lock()
+		if pc.stalled == gate {
+			pc.stalled = nil
+			close(gate)
+		}
+		pc.gmu.Unlock()
+	case HalfClose:
+		if tc, ok := pc.server.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		p.mu.Lock()
+		p.stats.HalfClosed++
+		p.mu.Unlock()
+	}
+}
+
+func (p *Proxy) runBlackout(ev Event) {
+	defer p.wg.Done()
+	t := time.NewTimer(ev.At)
+	defer t.Stop()
+	select {
+	case <-p.done:
+		return
+	case <-t.C:
+	}
+	p.mu.Lock()
+	p.down = true
+	conns := make([]*proxiedConn, 0, len(p.conns))
+	for idx, pc := range p.conns {
+		conns = append(conns, pc)
+		delete(p.conns, idx)
+		p.stats.Severed++
+	}
+	p.mu.Unlock()
+	for _, pc := range conns {
+		pc.close()
+	}
+	if ev.Dur <= 0 {
+		return // never heals
+	}
+	heal := time.NewTimer(ev.Dur)
+	defer heal.Stop()
+	select {
+	case <-p.done:
+		return
+	case <-heal.C:
+	}
+	p.mu.Lock()
+	p.down = false
+	p.mu.Unlock()
+}
+
+func (pc *proxiedConn) close() {
+	// Release any stall so the pumps can observe the close.
+	pc.gmu.Lock()
+	if pc.stalled != nil {
+		close(pc.stalled)
+		pc.stalled = nil
+	}
+	pc.gmu.Unlock()
+	_ = pc.client.Close()
+	_ = pc.server.Close()
+}

@@ -12,14 +12,31 @@
 // Timing realizes the environments physically: a node's round timer and
 // the hub's (optional) per-connection artificial delays determine which
 // links are timely, exactly as in the in-process runtime (anonnet).
+//
+// # Resilience
+//
+// The live plane survives real network weather. Connections are sessions:
+// a node's first frame is a wire.Hello handshake, the hub answers with a
+// session token (wire.Welcome), and a node that loses its connection
+// redials with seeded exponential backoff and resumes the session from a
+// replay cursor — it receives exactly the frames it has not seen, not the
+// whole log, and keeps its delta-decoding state. The hub heartbeats every
+// handshaken connection and only declares a peer dead after a run of
+// missed acks; an overwhelmed consumer gets a high-water-mark grace
+// window to drain before it is disconnected (and, having a session, can
+// reconnect and resume with nothing lost). Raw legacy clients that never
+// send a Hello still work: after a short handshake window they get the
+// classic whole-log replay and channel semantics.
 package tcpnet
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anonconsensus/internal/giraf"
@@ -27,32 +44,104 @@ import (
 	"anonconsensus/internal/wire"
 )
 
+// ErrHubLost reports that a node's hub connection died and could not be
+// re-established within its reconnect budget. In the crash-fault model a
+// node permanently cut off from the broadcast primitive is
+// indistinguishable from a crashed process, so callers (transport_tcp)
+// treat this error as a crash of that one node, not as an
+// infrastructure failure of the whole run.
+var ErrHubLost = errors.New("tcpnet: hub connection lost")
+
+// HubStats counts the hub's robustness events. All counters are
+// cumulative since the hub started.
+type HubStats struct {
+	// Sessions is the number of sessions ever established (legacy
+	// connections included).
+	Sessions int
+	// Reconnects counts successful session resumptions.
+	Reconnects int
+	// ReplayedFrames counts frames re-sent from session logs on
+	// resumption.
+	ReplayedFrames int
+	// HeartbeatMisses counts heartbeat intervals that elapsed with the
+	// previous probe unacknowledged (a slow consumer accumulates a few and
+	// recovers; a dead one accumulates the miss limit and is dropped).
+	HeartbeatMisses int
+	// DroppedConns counts connections the hub itself severed (overwhelmed
+	// beyond the grace window, or heartbeat-dead).
+	DroppedConns int
+	// OverwhelmedDrops is the subset of DroppedConns due to a full
+	// outbound queue past the high-water mark for longer than the grace
+	// window.
+	OverwhelmedDrops int
+}
+
 // Hub is the reliable anonymous broadcast relay: every frame received on
 // one connection is forwarded to every *other* connection, in arrival
 // order, with no origin information. The hub retains a log of all frames
-// and replays it to every new connection: the paper's broadcast primitive
-// is reliable to *all* correct processes, so a process that attaches late
+// and replays it to every new session: the paper's broadcast primitive is
+// reliable to *all* correct processes, so a process that attaches late
 // must still receive everything broadcast before it arrived (late counts
 // as asynchronous, lost would break the model — see the late-joiner test).
+//
+// Each session's outbound queue is a cursor into its private sent-log (a
+// subsequence of the hub log: own frames excluded, fault-dropped forwards
+// excluded, injected duplicates included). Replay on resumption is just a
+// cursor rewind, so a reconnecting node never loses a frame and never
+// re-receives one it has processed.
 type Hub struct {
 	ln net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]chan []byte
-	log    [][]byte
-	closed bool
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	byToken  map[uint64]*session
+	pending  map[net.Conn]struct{} // accepted, still in the handshake window
+	log      [][]byte
+	closed   bool
+	serial   int
+	next     int // accept-order counter (delay/fault indexing)
 
-	wg sync.WaitGroup
+	tokenSeq  uint64
+	bootNonce uint64
+
+	stats HubStats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
 	// Delay, if set, is applied before forwarding a frame to a connection
 	// (indexed by accept order), letting tests shape per-link timeliness.
 	delay func(connIndex int) time.Duration
 	// fault, if set, decides per (sender, receiver, frame serial) whether a
 	// forward is dropped or duplicated — the hub-level realization of a
 	// fault scenario's loss and duplication dimensions.
-	fault  func(from, to, serial int) (drop, dup bool)
-	serial int
-	order  map[net.Conn]int
-	next   int
+	fault func(from, to, serial int) (drop, dup bool)
+
+	handshakeWindow time.Duration
+	highWater       int
+	graceWindow     time.Duration
+	hbInterval      time.Duration
+	hbMissLimit     int
+}
+
+// session is one logical consumer of the broadcast: a handshaken node
+// (resumable by token across connections) or a legacy raw connection
+// (token 0, dies with its connection).
+type session struct {
+	token uint64
+	sent  [][]byte // frames queued for this session, in order
+	cur   int      // next sent index the write loop will deliver
+	cond  *sync.Cond
+
+	conn  net.Conn // current attachment; nil while detached
+	order int      // accept-order index of the current connection
+	wmu   sync.Mutex
+
+	hwmSince time.Time // when the queue lag first crossed the high-water mark
+
+	hbSeq   uint64
+	hbAcked uint64
+	misses  int
 }
 
 // HubOption configures the hub.
@@ -75,6 +164,47 @@ func WithForwardFault(f func(from, to, serial int) (drop, dup bool)) HubOption {
 	return func(h *Hub) { h.fault = f }
 }
 
+// WithHeartbeat sets the hub's liveness probing of handshaken
+// connections: a probe every interval, and a connection is declared dead
+// (and dropped) after missLimit consecutive intervals with the previous
+// probe unacknowledged — the threshold is what distinguishes a slow
+// consumer (misses a beat, acks late, recovers) from a dead one. Legacy
+// connections are never probed (they cannot ack).
+func WithHeartbeat(interval time.Duration, missLimit int) HubOption {
+	return func(h *Hub) {
+		h.hbInterval = interval
+		if missLimit > 0 {
+			h.hbMissLimit = missLimit
+		}
+	}
+}
+
+// WithQueuePolicy bounds a session's outbound lag: once more than
+// highWater frames are queued undelivered, the consumer has the grace
+// window to drain below the mark before the hub disconnects it
+// (overwhelmed ⇒ crashed in the model; a handshaken node can reconnect
+// and resume, so for sessions the drop is flow control, not data loss).
+func WithQueuePolicy(highWater int, grace time.Duration) HubOption {
+	return func(h *Hub) {
+		if highWater > 0 {
+			h.highWater = highWater
+		}
+		if grace > 0 {
+			h.graceWindow = grace
+		}
+	}
+}
+
+// WithHandshakeWindow sets how long the hub waits for a new connection's
+// first frame before treating it as a legacy (non-handshaking) client.
+func WithHandshakeWindow(d time.Duration) HubOption {
+	return func(h *Hub) {
+		if d > 0 {
+			h.handshakeWindow = d
+		}
+	}
+}
+
 // NewHub starts a hub listening on addr (e.g. "127.0.0.1:0"). Close stops
 // it.
 func NewHub(addr string, opts ...HubOption) (*Hub, error) {
@@ -83,20 +213,55 @@ func NewHub(addr string, opts ...HubOption) (*Hub, error) {
 		return nil, fmt.Errorf("tcpnet: hub listen: %w", err)
 	}
 	h := &Hub{
-		ln:    ln,
-		conns: make(map[net.Conn]chan []byte),
-		order: make(map[net.Conn]int),
+		ln:       ln,
+		sessions: make(map[*session]struct{}),
+		byToken:  make(map[uint64]*session),
+		pending:  make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
+		// The boot nonce keeps tokens from colliding across hub restarts
+		// on the same address: a node resuming into a restarted hub must
+		// never alias another node's fresh session.
+		bootNonce:       uint64(time.Now().UnixNano()) << 16,
+		handshakeWindow: 150 * time.Millisecond,
+		highWater:       4096,
+		graceWindow:     500 * time.Millisecond,
+		hbInterval:      2 * time.Second,
+		hbMissLimit:     3,
 	}
 	for _, opt := range opts {
 		opt(h)
 	}
 	h.wg.Add(1)
 	go h.acceptLoop()
+	if h.hbInterval > 0 {
+		h.wg.Add(1)
+		go h.heartbeatLoop()
+	}
 	return h, nil
 }
 
 // Addr returns the hub's listen address.
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Stats returns a snapshot of the hub's robustness counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// attached reports how many sessions currently have a live connection.
+func (h *Hub) attached() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for s := range h.sessions {
+		if s.conn != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Close stops the hub and all its connections.
 func (h *Hub) Close() error {
@@ -106,12 +271,19 @@ func (h *Hub) Close() error {
 		return nil
 	}
 	h.closed = true
-	conns := make([]net.Conn, 0, len(h.conns))
-	for c := range h.conns {
+	conns := make([]net.Conn, 0, len(h.sessions)+len(h.pending))
+	for s := range h.sessions {
+		if s.conn != nil {
+			conns = append(conns, s.conn)
+		}
+		s.cond.Broadcast()
+	}
+	for c := range h.pending {
 		conns = append(conns, c)
 	}
 	h.mu.Unlock()
 
+	close(h.stop)
 	err := h.ln.Close()
 	for _, c := range conns {
 		_ = c.Close()
@@ -133,108 +305,374 @@ func (h *Hub) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
-		// Size the queue to hold the whole replay plus headroom so a new
-		// connection is never treated as overwhelmed before it caught up.
-		out := make(chan []byte, len(h.log)+4096)
-		for _, frame := range h.log {
-			out <- frame
-		}
-		h.conns[conn] = out
-		h.order[conn] = h.next
-		h.next++
+		h.pending[conn] = struct{}{}
+		h.wg.Add(1)
 		h.mu.Unlock()
-
-		h.wg.Add(2)
-		go h.readLoop(conn)
-		go h.writeLoop(conn, out)
+		go h.handshake(conn)
 	}
 }
 
-// readLoop pulls frames off one connection and fans them out.
-func (h *Hub) readLoop(conn net.Conn) {
+// countingReader counts bytes consumed, so the handshake can tell a
+// clean deadline expiry (nothing read, the stream is intact) from a
+// partial frame cut off at the deadline (the stream is desynced and the
+// connection must be abandoned).
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += n
+	return n, err
+}
+
+// handshake classifies a new connection: a wire.Hello as the first frame
+// makes it a session (fresh or resumed); anything else — a data frame, or
+// silence for the handshake window — makes it a legacy connection with
+// the classic whole-log replay.
+func (h *Hub) handshake(conn net.Conn) {
 	defer h.wg.Done()
-	defer h.drop(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(h.handshakeWindow))
+	cr := &countingReader{r: conn}
+	first, err := wire.ReadFrame(cr)
+	_ = conn.SetReadDeadline(time.Time{})
+
+	var hello *wire.Hello
+	var firstData []byte
+	switch {
+	case err == nil:
+		if hm, herr := wire.DecodeHello(first); herr == nil {
+			hello = &hm
+		} else if !wire.IsControlFrame(first) {
+			firstData = first
+		}
+		// A non-Hello control frame before any handshake is a protocol
+		// slip; ignore it and treat the connection as legacy.
+	default:
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() || cr.n > 0 {
+			// EOF or transport failure before any frame — or a partial
+			// frame truncated at the deadline, which leaves the stream
+			// desynced: nothing to serve either way.
+			h.mu.Lock()
+			delete(h.pending, conn)
+			h.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		// Clean timeout: a legacy client that has nothing to say yet.
+	}
+
+	h.mu.Lock()
+	delete(h.pending, conn)
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	var s *session
+	var welcome wire.Welcome
+	if hello != nil && hello.Token != 0 {
+		s = h.byToken[hello.Token]
+	}
+	if s != nil {
+		// Resumption: kick any half-dead previous attachment, rewind the
+		// cursor to the node's receive count, and replay the difference.
+		if old := s.conn; old != nil {
+			s.conn = nil
+			s.cond.Broadcast()
+			_ = old.Close()
+		}
+		cur := int(hello.Cursor)
+		if cur > len(s.sent) {
+			cur = len(s.sent) // defensive: never replay past the log
+		}
+		s.cur = cur
+		h.stats.Reconnects++
+		h.stats.ReplayedFrames += len(s.sent) - cur
+		welcome = wire.Welcome{
+			Token:      s.token,
+			ResumeFrom: uint64(cur),
+			Pending:    uint64(len(s.sent) - cur),
+		}
+	} else {
+		// Fresh session (or a resume for a token this hub does not know —
+		// e.g. issued before a restart): the whole current log is the
+		// replay, exactly as for a late joiner.
+		s = &session{cond: sync.NewCond(&h.mu)}
+		s.sent = append([][]byte(nil), h.log...)
+		if hello != nil {
+			h.tokenSeq++
+			s.token = h.bootNonce + h.tokenSeq
+			h.byToken[s.token] = s
+			welcome = wire.Welcome{Token: s.token, Pending: uint64(len(s.sent))}
+		}
+		h.sessions[s] = struct{}{}
+		h.stats.Sessions++
+	}
+	s.conn = conn
+	s.order = h.next
+	h.next++
+	s.hwmSince = time.Time{}
+	s.hbSeq, s.hbAcked, s.misses = 0, 0, 0
+	h.mu.Unlock()
+
+	if hello != nil {
+		// The Welcome must precede every replayed frame; this connection's
+		// write loop starts only below, so a direct write is ordered.
+		s.wmu.Lock()
+		werr := wire.WriteFrame(conn, wire.EncodeWelcome(welcome))
+		s.wmu.Unlock()
+		if werr != nil {
+			h.detach(s, conn, false)
+			return
+		}
+	}
+
+	h.wg.Add(2)
+	go h.readLoop(s, conn)
+	go h.writeLoop(s, conn)
+	if firstData != nil {
+		h.broadcast(s, firstData)
+	}
+}
+
+// readLoop pulls frames off one connection: control frames are consumed,
+// data frames fan out.
+func (h *Hub) readLoop(s *session, conn net.Conn) {
+	defer h.wg.Done()
+	defer h.detach(s, conn, false)
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
 			return // EOF or broken pipe: the node left
 		}
-		var overwhelmed []net.Conn
-		h.mu.Lock()
-		h.log = append(h.log, frame)
-		h.serial++
-		serial := h.serial
-		from := h.order[conn]
-		for peer, out := range h.conns {
-			if peer == conn {
-				continue // the sender's own payload is already in its inbox
-			}
-			dup := false
-			if h.fault != nil {
-				var drop bool
-				drop, dup = h.fault(from, h.order[peer], serial)
-				if drop {
-					continue
+		if kind, ok := wire.ControlKind(frame); ok {
+			if kind == wire.ControlHeartbeatAck {
+				if ack, err := wire.DecodeHeartbeatAck(frame); err == nil {
+					h.mu.Lock()
+					// Ignore acks from before a resumption (their seq
+					// outruns this attachment's probe counter).
+					if ack.Seq <= s.hbSeq && ack.Seq > s.hbAcked {
+						s.hbAcked = ack.Seq
+					}
+					s.misses = 0
+					h.mu.Unlock()
 				}
 			}
-			select {
-			case out <- frame:
-			default:
-				// Broadcast must stay reliable to correct processes:
-				// silently dropping frames would void the model's safety
-				// assumptions. A consumer that cannot keep up is instead
-				// disconnected — in the crash-fault model it is now a
-				// crashed process, which the algorithms tolerate.
-				overwhelmed = append(overwhelmed, peer)
+			continue // control frames are never relayed
+		}
+		h.broadcast(s, frame)
+	}
+}
+
+// broadcast logs one data frame and queues it for every other session.
+func (h *Hub) broadcast(from *session, frame []byte) {
+	type victim struct {
+		s    *session
+		conn net.Conn
+	}
+	var overwhelmed []victim
+	h.mu.Lock()
+	h.log = append(h.log, frame)
+	h.serial++
+	serial := h.serial
+	for s := range h.sessions {
+		if s == from {
+			continue // the sender's own payload is already in its inbox
+		}
+		if h.fault != nil {
+			drop, dup := h.fault(from.order, s.order, serial)
+			if drop {
 				continue
 			}
 			if dup {
 				// The duplicate is fault injection, not protocol traffic:
-				// best-effort only, and never grounds for disconnecting a
-				// peer that already holds the real frame.
-				select {
-				case out <- frame:
-				default:
-				}
+				// it rides the same queue and replay as the original.
+				s.sent = append(s.sent, frame)
 			}
 		}
-		h.mu.Unlock()
-		for _, peer := range overwhelmed {
-			h.drop(peer)
+		s.sent = append(s.sent, frame)
+		// Broadcast must stay reliable to correct processes: frames are
+		// never silently dropped. A consumer lagging past the high-water
+		// mark gets the grace window to drain; if it is still overwhelmed
+		// after that it is disconnected — in the crash-fault model a
+		// crashed process (which the algorithms tolerate), and for a
+		// handshaken session merely a forced reconnect with replay.
+		if s.conn != nil && len(s.sent)-s.cur > h.highWater {
+			if s.hwmSince.IsZero() {
+				s.hwmSince = time.Now()
+			} else if time.Since(s.hwmSince) > h.graceWindow {
+				h.stats.OverwhelmedDrops++
+				h.stats.DroppedConns++
+				overwhelmed = append(overwhelmed, victim{s, s.conn})
+			}
 		}
+		s.cond.Signal()
+	}
+	h.mu.Unlock()
+	for _, v := range overwhelmed {
+		h.detach(v.s, v.conn, true)
 	}
 }
 
-// writeLoop forwards queued frames to one connection.
-func (h *Hub) writeLoop(conn net.Conn, out chan []byte) {
+// writeLoop delivers a session's sent-log to its current connection,
+// advancing the shared cursor. It exits when the connection is replaced,
+// fails, or the hub closes.
+func (h *Hub) writeLoop(s *session, conn net.Conn) {
 	defer h.wg.Done()
-	idx := func() int {
+	for {
 		h.mu.Lock()
-		defer h.mu.Unlock()
-		return h.order[conn]
-	}()
-	for frame := range out {
+		for s.conn == conn && !h.closed && s.cur >= len(s.sent) {
+			s.cond.Wait()
+		}
+		if s.conn != conn || h.closed {
+			h.mu.Unlock()
+			return
+		}
+		frame := s.sent[s.cur]
+		s.cur++
+		idx := s.order
+		if len(s.sent)-s.cur <= h.highWater {
+			s.hwmSince = time.Time{} // drained below the mark: lag forgiven
+		}
+		h.mu.Unlock()
 		if h.delay != nil {
 			if d := h.delay(idx); d > 0 {
 				time.Sleep(d)
 			}
 		}
-		if err := wire.WriteFrame(conn, frame); err != nil {
+		s.wmu.Lock()
+		err := wire.WriteFrame(conn, frame)
+		s.wmu.Unlock()
+		if err != nil {
+			h.detach(s, conn, false)
 			return
 		}
 	}
 }
 
-// drop unregisters a connection.
-func (h *Hub) drop(conn net.Conn) {
-	h.mu.Lock()
-	out, ok := h.conns[conn]
-	delete(h.conns, conn)
-	h.mu.Unlock()
-	if ok {
-		close(out)
+// heartbeatLoop probes every handshaken attached connection and drops the
+// ones that miss hbMissLimit probes in a row.
+func (h *Hub) heartbeatLoop() {
+	defer h.wg.Done()
+	ticker := time.NewTicker(h.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-ticker.C:
+		}
+		type probe struct {
+			s    *session
+			conn net.Conn
+			seq  uint64
+		}
+		var probes []probe
+		var dead []probe
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			return
+		}
+		for s := range h.sessions {
+			if s.conn == nil || s.token == 0 {
+				continue // detached, or legacy (cannot ack)
+			}
+			if s.hbSeq > s.hbAcked {
+				s.misses++
+				h.stats.HeartbeatMisses++
+				if s.misses >= h.hbMissLimit {
+					h.stats.DroppedConns++
+					dead = append(dead, probe{s: s, conn: s.conn})
+					continue
+				}
+			}
+			s.hbSeq++
+			probes = append(probes, probe{s, s.conn, s.hbSeq})
+		}
+		h.mu.Unlock()
+		for _, d := range dead {
+			h.detach(d.s, d.conn, true)
+		}
+		for _, p := range probes {
+			p.s.wmu.Lock()
+			err := wire.WriteFrame(p.conn, wire.EncodeHeartbeat(wire.Heartbeat{Seq: p.seq}))
+			p.s.wmu.Unlock()
+			if err != nil {
+				h.detach(p.s, p.conn, false)
+			}
+		}
 	}
+}
+
+// detach severs one attachment. A tokened session stays resumable (its
+// sent-log keeps accumulating); a legacy session dies with its
+// connection. hubInitiated marks drops the hub decided on (already
+// counted by the caller under mu).
+func (h *Hub) detach(s *session, conn net.Conn, hubInitiated bool) {
+	_ = hubInitiated // counted at the decision site; parameter documents intent
+	h.mu.Lock()
+	if s.conn == conn {
+		s.conn = nil
+		if s.token == 0 {
+			delete(h.sessions, s)
+		}
+		s.cond.Broadcast()
+	}
+	h.mu.Unlock()
 	_ = conn.Close()
+}
+
+// ReconnectPolicy governs a node's response to losing its hub
+// connection: redial with exponential backoff and jitter, resuming the
+// session. The zero policy disables reconnection (a lost connection is
+// then immediately ErrHubLost).
+type ReconnectPolicy struct {
+	// MaxAttempts bounds redials per outage; 0 disables reconnection.
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 20ms when attempts
+	// are enabled).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 2s).
+	MaxDelay time.Duration
+	// Seed drives the jitter: for a fixed seed the backoff schedule is
+	// deterministic, so chaos runs replay.
+	Seed int64
+}
+
+// enabled reports whether the policy allows any reconnection.
+func (p ReconnectPolicy) enabled() bool { return p.MaxAttempts > 0 }
+
+// backoff returns the deterministic delay before the attempt-th redial
+// (0-based): exponential growth capped at MaxDelay, jittered into
+// [d/2, 3d/2) by a seeded hash so herds of nodes desynchronize while a
+// fixed seed still replays the exact schedule.
+func (p ReconnectPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 20 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	// FNV-1a over (seed, attempt), the same mixer idiom as the transport's
+	// forward jitter.
+	j := uint64(1469598103934665603) ^ uint64(p.Seed)
+	j ^= uint64(uint32(attempt))
+	j *= 1099511628211
+	j ^= j >> 33
+	return d/2 + time.Duration(j%uint64(d))
 }
 
 // NodeConfig drives one consensus node against a hub.
@@ -247,6 +685,9 @@ type NodeConfig struct {
 	Interval time.Duration
 	// Timeout bounds the run; defaults to 30s.
 	Timeout time.Duration
+	// DialTimeout bounds each dial + handshake (context cancellation
+	// aborts a hung dial earlier); defaults to 5s.
+	DialTimeout time.Duration
 	// JoinGrace delays the node's first end-of-round so the hub's replay
 	// of earlier broadcasts is consumed first; defaults to 3×Interval.
 	// With unknown participation a node cannot distinguish "I am alone"
@@ -258,6 +699,9 @@ type NodeConfig struct {
 	// end-of-rounds (simulated crash, mirroring anonnet's crash schedule).
 	// Zero means never.
 	CrashAfterRounds int
+	// Reconnect governs recovery from a lost hub connection; the zero
+	// policy keeps the historical fail-fast behavior.
+	Reconnect ReconnectPolicy
 }
 
 // NodeResult is a node's outcome.
@@ -269,10 +713,171 @@ type NodeResult struct {
 	Rounds int
 	// Crashed reports whether the crash schedule stopped the node.
 	Crashed bool
+
+	// Reconnects counts hub connections re-established after a loss.
+	Reconnects int
+	// ReplayedFrames counts frames the hub re-sent from the session log
+	// on resumption (as announced in each Welcome).
+	ReplayedFrames int
+	// FailedDials counts redial attempts that did not produce a session.
+	FailedDials int
+	// HeartbeatsAcked counts hub liveness probes this node answered.
+	HeartbeatsAcked int
+}
+
+// nodeConn is one live hub attachment plus the goroutine pumping it.
+type nodeConn struct {
+	conn net.Conn
+	done chan struct{} // closed when the read pump exits
+}
+
+// nodeSession is the cross-connection state of one RunNode call: the
+// session identity, the receive cursor, and the decode table that delta
+// references resolve against (the resumed stream is a seamless
+// continuation, so the table must survive reconnects).
+type nodeSession struct {
+	cfg    NodeConfig
+	token  uint64
+	cursor atomic.Uint64 // data frames received on the session
+	table  *giraf.ResolveTable
+	inbox  chan giraf.Envelope
+	acks   chan uint64
+}
+
+// dial establishes one connection: DialContext with a deadline, then the
+// Hello/Welcome handshake. On success the session token and cursor are
+// synchronized with the hub.
+func (s *nodeSession) dial(ctx context.Context) (net.Conn, *wire.Welcome, error) {
+	dialTimeout := s.cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	dctx, cancel := context.WithTimeout(ctx, dialTimeout)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", s.cfg.HubAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := wire.WriteFrame(conn, wire.EncodeHello(wire.Hello{
+		Token:  s.token,
+		Cursor: s.cursor.Load(),
+	})); err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(dialTimeout))
+	var welcome wire.Welcome
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			return nil, nil, fmt.Errorf("awaiting welcome: %w", err)
+		}
+		kind, ok := wire.ControlKind(frame)
+		if !ok {
+			_ = conn.Close()
+			return nil, nil, fmt.Errorf("awaiting welcome: got a data frame")
+		}
+		if kind != wire.ControlWelcome {
+			continue // e.g. a heartbeat that raced the handshake
+		}
+		welcome, err = wire.DecodeWelcome(frame)
+		if err != nil {
+			_ = conn.Close()
+			return nil, nil, fmt.Errorf("awaiting welcome: %w", err)
+		}
+		break
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	s.token = welcome.Token
+	// The hub's resume position is authoritative: it is the node's cursor
+	// for a clean resumption and 0 when the session is fresh (including
+	// "resumed" into a restarted hub that no longer knows the token).
+	s.cursor.Store(welcome.ResumeFrom)
+	return conn, &welcome, nil
+}
+
+// startReader pumps one connection: data frames advance the cursor and
+// resolve into the inbox; heartbeats queue acks. The returned done
+// channel closes when the connection dies.
+func (s *nodeSession) startReader(ctx context.Context, conn net.Conn) *nodeConn {
+	nc := &nodeConn{conn: conn, done: make(chan struct{})}
+	go func() {
+		defer close(nc.done)
+		for {
+			frame, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if kind, ok := wire.ControlKind(frame); ok {
+				if kind == wire.ControlHeartbeat {
+					if hb, err := wire.DecodeHeartbeat(frame); err == nil {
+						select {
+						case s.acks <- hb.Seq:
+						default: // ack queue full: the next probe re-triggers
+						}
+					}
+				}
+				continue
+			}
+			// Every data frame occupies one slot of the session stream, so
+			// the cursor advances even for frames that fail to decode —
+			// otherwise a resumption would replay the garbage forever.
+			s.cursor.Add(1)
+			delta, err := wire.DecodeDeltaEnvelope(frame)
+			if err != nil {
+				continue // corrupt frame from a byzantine-ish peer: skip
+			}
+			env, err := s.table.Resolve(delta)
+			if err != nil {
+				continue // dangling reference (sender's frame was lost): skip
+			}
+			select {
+			case s.inbox <- env:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return nc
+}
+
+// reconnect redials with the policy's backoff schedule until a session is
+// re-established, attempts run out (ErrHubLost), or ctx dies.
+func (s *nodeSession) reconnect(ctx context.Context, res *NodeResult) (net.Conn, error) {
+	if !s.cfg.Reconnect.enabled() {
+		return nil, ErrHubLost
+	}
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.Reconnect.MaxAttempts; attempt++ {
+		wait := time.NewTimer(s.cfg.Reconnect.backoff(attempt))
+		select {
+		case <-ctx.Done():
+			wait.Stop()
+			return nil, ctx.Err()
+		case <-wait.C:
+		}
+		conn, welcome, err := s.dial(ctx)
+		if err != nil {
+			res.FailedDials++
+			lastErr = err
+			continue
+		}
+		res.Reconnects++
+		res.ReplayedFrames += int(welcome.Pending)
+		return conn, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %d attempts exhausted, last: %v", ErrHubLost, s.cfg.Reconnect.MaxAttempts, lastErr)
+	}
+	return nil, ErrHubLost
 }
 
 // RunNode connects to the hub and drives the automaton until it decides or
-// the timeout expires.
+// the timeout expires. Connection losses are survived per the config's
+// ReconnectPolicy; a node that exhausts its reconnect budget returns its
+// partial result alongside an error wrapping ErrHubLost.
 func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	if cfg.Automaton == nil {
 		return nil, errors.New("tcpnet: nil automaton")
@@ -288,39 +893,44 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	conn, err := net.Dial("tcp", cfg.HubAddr)
+	sess := &nodeSession{
+		cfg:   cfg,
+		table: giraf.NewResolveTable(),
+		inbox: make(chan giraf.Envelope, 1024),
+		acks:  make(chan uint64, 16),
+	}
+	conn, _, err := sess.dial(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dialing hub: %w", err)
 	}
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 
 	proc := giraf.NewProc(cfg.Automaton)
-	inbox := make(chan giraf.Envelope, 1024)
+	res := &NodeResult{}
+	reader := sess.startReader(ctx, conn)
 
-	// Reader goroutine: delta frames → resolved envelopes → inbox. The
-	// reader's resolve table spans the whole connection, so fingerprint
-	// references to payloads from earlier frames (any sender — the hub
-	// serializes all streams into one) always resolve. Corrupt frames from
-	// a byzantine-ish peer are dropped, not fatal: crash-fault model.
-	readerDone := make(chan struct{})
-	go func() {
-		defer close(readerDone)
-		reader := wire.NewEnvelopeReader(conn)
+	// lose tears the current connection down and either resumes the
+	// session or reports the run dead (ErrHubLost / ctx expiry).
+	lose := func() error {
+		_ = conn.Close()
+		<-reader.done
+		// Stale probe acks belong to the dead connection.
 		for {
-			env, err := reader.ReadEnvelope()
-			if err != nil {
-				if errors.Is(err, wire.ErrBadFrame) {
-					continue
-				}
-				return
-			}
 			select {
-			case inbox <- env:
-			case <-ctx.Done():
-				return
+			case <-sess.acks:
+				continue
+			default:
 			}
+			break
 		}
-	}()
+		next, rerr := sess.reconnect(ctx, res)
+		if rerr != nil {
+			return rerr
+		}
+		conn = next
+		reader = sess.startReader(ctx, conn)
+		return nil
+	}
 
 	grace := cfg.JoinGrace
 	if grace <= 0 {
@@ -332,22 +942,36 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	// Writer with per-connection delta state: each payload crosses this
-	// node's uplink in full exactly once; rebroadcasts of it are 16-byte
-	// fingerprint references.
+	// node's uplink in full exactly once per connection; rebroadcasts of
+	// it are 16-byte fingerprint references. The tracker must reset with
+	// every reconnect — a reference may only point at the previous frame
+	// of the same stream, and frames in flight when the link died may
+	// never have reached the hub.
 	writer := wire.NewEnvelopeWriter(conn)
-	res := &NodeResult{}
 	for {
 		select {
 		case <-ctx.Done():
 			res.Rounds = proc.CurrentRound()
 			return res, nil
-		case <-readerDone:
-			res.Rounds = proc.CurrentRound()
-			return res, fmt.Errorf("tcpnet: hub connection lost")
+		case <-reader.done:
+			if err := lose(); err != nil {
+				res.Rounds = proc.CurrentRound()
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return res, nil // the run's own timeout: a normal undecided exit
+				}
+				return res, err
+			}
+			writer = wire.NewEnvelopeWriter(conn)
+		case seq := <-sess.acks:
+			if err := wire.WriteFrame(conn, wire.EncodeHeartbeatAck(wire.Heartbeat{Seq: seq})); err == nil {
+				res.HeartbeatsAcked++
+			}
+			// A failed ack write means the connection is dying; the read
+			// pump notices and the reader.done arm recovers.
+		case env := <-sess.inbox:
+			proc.Receive(env)
 		case <-graceOver:
 			started = true
-		case env := <-inbox:
-			proc.Receive(env)
 		case <-ticker.C:
 			if !started {
 				continue // still consuming the hub replay
@@ -370,9 +994,19 @@ func RunNode(ctx context.Context, cfg NodeConfig) (*NodeResult, error) {
 			if !ok {
 				continue
 			}
-			if err := writer.WriteEnvelope(env); err != nil {
-				res.Rounds = proc.CurrentRound()
-				return res, fmt.Errorf("tcpnet: broadcasting round %d: %w", env.Round, err)
+			if werr := writer.WriteEnvelope(env); werr != nil {
+				// The broadcast did not leave this machine; the next round
+				// rebroadcasts the full state, so recovery loses nothing
+				// the model is not already allowed to lose (an
+				// asynchronous round).
+				if err := lose(); err != nil {
+					res.Rounds = proc.CurrentRound()
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						return res, nil
+					}
+					return res, err
+				}
+				writer = wire.NewEnvelopeWriter(conn)
 			}
 		}
 	}

@@ -223,17 +223,16 @@ func TestTCPNodeCrashSchedule(t *testing.T) {
 	}
 }
 
-// waitForConns blocks until the hub has registered n connections: Dial
-// returns at the kernel handshake, before the hub's accept loop runs, and
-// frames forwarded before registration reach late registrants only via the
-// fault-free replay path — exactly what these tests must not measure.
+// waitForConns blocks until the hub has n attached sessions: Dial returns
+// at the kernel handshake, before the hub's accept loop (and, for raw
+// clients, the handshake-window classification) runs, and frames forwarded
+// before registration reach late registrants only via the fault-free
+// replay path — exactly what these tests must not measure.
 func waitForConns(t *testing.T, h *Hub, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		h.mu.Lock()
-		got := len(h.conns)
-		h.mu.Unlock()
+		got := h.attached()
 		if got >= n {
 			return
 		}

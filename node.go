@@ -316,6 +316,7 @@ func (o *options) spec(id string, proposals []Value) (InstanceSpec, error) {
 		Interval:     o.interval,
 		Timeout:      o.timeout,
 		MaxRounds:    o.maxRounds,
+		Reconnect:    o.reconnect,
 	}
 	if err := spec.validate(); err != nil {
 		return InstanceSpec{}, err

@@ -19,6 +19,7 @@ type options struct {
 	timeout      time.Duration
 	maxRounds    int
 	parallelism  int
+	reconnect    ReconnectPolicy
 }
 
 // Option configures a Node session (NewNode) or one instance
@@ -227,6 +228,45 @@ func WithTimeout(d time.Duration) Option {
 			return fmt.Errorf("anonconsensus: non-positive timeout %v", d)
 		}
 		o.timeout = d
+		return nil
+	}
+}
+
+// ReconnectPolicy governs how TCP-backend nodes respond to losing their
+// hub connection: redial with exponential backoff and jitter, resuming
+// the hub session from the replay cursor so no frame is lost or
+// re-processed. The jitter schedule is derived deterministically from the
+// run seed and the process index, so a chaos run replays under the same
+// seed.
+//
+// The zero policy means "backend default" (a handful of attempts with
+// interval-scaled backoff); MaxAttempts < 0 disables reconnection
+// entirely, restoring fail-fast on connection loss. The sim and live
+// transports have no network to lose and ignore the policy.
+type ReconnectPolicy struct {
+	// MaxAttempts bounds redials per outage. 0 means the backend default
+	// (5); negative disables reconnection.
+	MaxAttempts int
+	// BaseDelay is the first backoff delay; 0 means the backend default
+	// (2× the round interval, at least 20ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; 0 means the backend default
+	// (1s).
+	MaxDelay time.Duration
+}
+
+// WithReconnect sets the TCP backend's reconnect policy (see
+// ReconnectPolicy). Reconnection is on by default; pass a policy with
+// MaxAttempts < 0 to disable it.
+func WithReconnect(p ReconnectPolicy) Option {
+	return func(o *options) error {
+		if p.BaseDelay < 0 || p.MaxDelay < 0 {
+			return fmt.Errorf("anonconsensus: negative reconnect delay (base %v, max %v)", p.BaseDelay, p.MaxDelay)
+		}
+		if p.MaxDelay > 0 && p.BaseDelay > p.MaxDelay {
+			return fmt.Errorf("anonconsensus: reconnect base delay %v exceeds max %v", p.BaseDelay, p.MaxDelay)
+		}
+		o.reconnect = p
 		return nil
 	}
 }

@@ -26,6 +26,8 @@ func TestOptionValidation(t *testing.T) {
 		{"zero interval", []Option{WithInterval(0)}},
 		{"zero timeout", []Option{WithTimeout(0)}},
 		{"zero max rounds", []Option{WithMaxRounds(0)}},
+		{"negative reconnect delay", []Option{WithReconnect(ReconnectPolicy{BaseDelay: -time.Second})}},
+		{"reconnect base over max", []Option{WithReconnect(ReconnectPolicy{BaseDelay: 2 * time.Second, MaxDelay: time.Second})}},
 		{"nil option", []Option{nil}},
 	}
 	for _, tt := range bad {

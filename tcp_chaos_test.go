@@ -1,0 +1,122 @@
+package anonconsensus
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"anonconsensus/internal/netchaos"
+)
+
+// TestTCPChaosSeveredNodeRecovers is the acceptance property for the
+// resilient live plane: one node's hub link is blacked out mid-run by a
+// seeded chaos proxy, and the instance still reaches Agreement and
+// Validity — with the outage visible as Reconnects ≥ 1 and
+// ReplayedFrames > 0 in the result's robustness counters.
+func TestTCPChaosSeveredNodeRecovers(t *testing.T) {
+	tr := NewTCPTransport().(*tcpTransport)
+	defer tr.Close()
+
+	// Node 1 dials through a proxy whose schedule cuts the link just as
+	// rounds begin and holds it down for several round-lengths, so the
+	// resumption has peer broadcasts to replay. Everyone else dials direct.
+	tr.dialVia = func(node int, hubAddr string) (string, func()) {
+		if node != 1 {
+			return hubAddr, nil
+		}
+		p, err := netchaos.NewProxy(hubAddr, netchaos.Schedule{
+			{Kind: netchaos.Blackout, At: 40 * time.Millisecond, Dur: 100 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("chaos proxy: %v", err)
+		}
+		return p.Addr(), func() { _ = p.Close() }
+	}
+
+	props := []Value{NumValue(11), NumValue(47), NumValue(23), NumValue(5)}
+	res, err := tr.Run(context.Background(), InstanceSpec{
+		ID:        "chaos-sever",
+		Proposals: props,
+		Env:       EnvES,
+		Interval:  12 * time.Millisecond,
+		Timeout:   30 * time.Second,
+		Reconnect: ReconnectPolicy{MaxAttempts: 20, BaseDelay: 20 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Agreed()
+	if !ok {
+		t.Fatalf("agreement violated under chaos: %+v", res.Decisions)
+	}
+	valid := false
+	for _, p := range props {
+		if p == v {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("validity violated: decided %q, not among proposals", string(v))
+	}
+	if res.Robustness.Reconnects < 1 {
+		t.Errorf("Robustness.Reconnects = %d, want ≥ 1", res.Robustness.Reconnects)
+	}
+	if res.Robustness.ReplayedFrames == 0 {
+		t.Error("Robustness.ReplayedFrames = 0; the resumption should have replayed the outage gap")
+	}
+}
+
+// TestTCPChaosMinorityCutOffDegradesGracefully pins the degradation
+// contract: a node whose link never heals exhausts its reconnect budget
+// and becomes crash-equivalent — the siblings still decide, the run
+// returns a clean Result (no error, no sibling abort), and the failed
+// dials are on the counters.
+func TestTCPChaosMinorityCutOffDegradesGracefully(t *testing.T) {
+	tr := NewTCPTransport().(*tcpTransport)
+	defer tr.Close()
+
+	tr.dialVia = func(node int, hubAddr string) (string, func()) {
+		if node != 1 {
+			return hubAddr, nil
+		}
+		p, err := netchaos.NewProxy(hubAddr, netchaos.Schedule{
+			{Kind: netchaos.Blackout, At: 40 * time.Millisecond}, // Dur 0: never heals
+		})
+		if err != nil {
+			t.Fatalf("chaos proxy: %v", err)
+		}
+		return p.Addr(), func() { _ = p.Close() }
+	}
+
+	props := []Value{NumValue(1), NumValue(2), NumValue(3)}
+	res, err := tr.Run(context.Background(), InstanceSpec{
+		ID:        "chaos-cutoff",
+		Proposals: props,
+		Env:       EnvES,
+		Interval:  12 * time.Millisecond,
+		Timeout:   30 * time.Second,
+		Reconnect: ReconnectPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("permanent minority outage must not error the run: %v", err)
+	}
+	if res.Decisions[1].Decided {
+		t.Error("cut-off node claims a decision")
+	}
+	decided := map[Value]bool{}
+	for i, d := range res.Decisions {
+		if i == 1 {
+			continue
+		}
+		if !d.Decided {
+			t.Fatalf("survivor %d undecided; a cut-off minority must not stall the rest", i)
+		}
+		decided[d.Value] = true
+	}
+	if len(decided) != 1 {
+		t.Fatalf("survivors disagree: %+v", res.Decisions)
+	}
+	if res.Robustness.FailedDials < 3 {
+		t.Errorf("Robustness.FailedDials = %d, want ≥ 3 (every redial hit the blackout)", res.Robustness.FailedDials)
+	}
+}

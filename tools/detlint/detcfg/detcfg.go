@@ -57,6 +57,14 @@ var deterministic = map[string]bool{
 var liveExempt = map[string]bool{
 	"anonnet": true,
 	"tcpnet":  true,
+	// netchaos is the chaos-injection proxy for the live TCP plane: its
+	// schedules fire on wall-clock timers relative to connection accept
+	// times (that is the injection mechanism, not an accident), so the
+	// wallclock and goescape rules cannot apply. Its *schedules* stay
+	// deterministic — RandomSchedule draws from a seeded *rand.Rand, which
+	// the globalrand rule still enforces here like everywhere under
+	// internal/.
+	"netchaos": true,
 }
 
 // family extracts the package family from an import path: the first

@@ -17,6 +17,7 @@ func TestClassification(t *testing.T) {
 		{"anonconsensus/internal/ordered", true, false, true},
 		{"anonconsensus/internal/anonnet", false, true, true},
 		{"anonconsensus/internal/tcpnet", false, true, true},
+		{"anonconsensus/internal/netchaos", false, true, true},
 		{"anonconsensus/internal/msemu", false, false, true},
 		{"anonconsensus", false, false, false},
 		{"anonconsensus/cmd/anonsim", false, false, false},

@@ -41,6 +41,9 @@ type InstanceSpec struct {
 	Timeout time.Duration
 	// MaxRounds bounds the run (sim transport).
 	MaxRounds int
+	// Reconnect governs connection-loss recovery (TCP transport only; the
+	// zero policy means the backend default — reconnection on).
+	Reconnect ReconnectPolicy
 }
 
 // N returns the number of processes.

@@ -2,6 +2,7 @@ package anonconsensus
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,12 @@ import (
 type tcpTransport struct {
 	listenAddr string
 	closed     atomic.Bool
+
+	// dialVia, when set, reroutes one node's hub dial — the seam the chaos
+	// tests use to interpose a netchaos proxy on selected nodes. It
+	// returns the address the node should dial and a cleanup run when the
+	// instance finishes; returning hubAddr unchanged means "direct".
+	dialVia func(node int, hubAddr string) (addr string, cleanup func())
 }
 
 // NewTCPTransport returns the real-TCP backend: an anonymous broadcast hub
@@ -99,25 +106,46 @@ func (t *tcpTransport) Run(ctx context.Context, spec InstanceSpec) (*Result, err
 	factory := automatonFactory(spec.Env, spec.Proposals)
 	results := make([]*tcpnet.NodeResult, n)
 	errs := make([]error, n)
-	// One node failing on infrastructure (lost hub connection, encode
-	// error) aborts the siblings immediately instead of letting them run
-	// out the full timeout.
+	// A node failing on real infrastructure (encode error, dial failure at
+	// start) aborts the siblings immediately instead of letting them run
+	// out the full timeout. A node that established its session and then
+	// lost the hub for good (ErrHubLost, after the reconnect path was
+	// exhausted) is different: in the crash-fault model it is
+	// indistinguishable from a crashed process, so the siblings keep
+	// running — the severed minority is charged against the crash budget
+	// the algorithms already tolerate.
 	runCtx, abort := context.WithCancel(ctx)
 	defer abort()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		i := i
+		nodeAddr := hub.Addr()
+		if t.dialVia != nil {
+			addr, cleanup := t.dialVia(i, nodeAddr)
+			nodeAddr = addr
+			if cleanup != nil {
+				defer cleanup()
+			}
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = tcpnet.RunNode(runCtx, tcpnet.NodeConfig{
-				HubAddr:          hub.Addr(),
+			res, err := tcpnet.RunNode(runCtx, tcpnet.NodeConfig{
+				HubAddr:          nodeAddr,
 				Automaton:        factory(i),
 				Interval:         interval,
 				Timeout:          spec.timeout(),
 				CrashAfterRounds: spec.Crashes[i],
+				Reconnect:        resolveReconnect(spec.Reconnect, interval, spec.Seed, i),
 			})
-			if errs[i] != nil {
+			if err != nil && errors.Is(err, tcpnet.ErrHubLost) && res != nil {
+				// Crash-equivalent: keep the partial result (its counters
+				// record the outage) and let the siblings finish.
+				results[i] = res
+				return
+			}
+			results[i], errs[i] = res, err
+			if err != nil {
 				abort()
 			}
 		}()
@@ -140,8 +168,45 @@ func (t *tcpTransport) Run(ctx context.Context, spec InstanceSpec) (*Result, err
 			Round:   r.Round,
 			Crashed: r.Crashed,
 		})
+		out.Robustness.Reconnects += r.Reconnects
+		out.Robustness.ReplayedFrames += r.ReplayedFrames
+		out.Robustness.FailedDials += r.FailedDials
 	}
+	hs := hub.Stats()
+	out.Robustness.HeartbeatMisses = hs.HeartbeatMisses
+	out.Robustness.DroppedConns = hs.DroppedConns
+	out.Robustness.OverwhelmedDrops = hs.OverwhelmedDrops
 	return out, nil
+}
+
+// resolveReconnect turns the public policy into the tcpnet one: defaults
+// filled in, jitter seeded from the run seed and the process index so
+// each node's backoff schedule is distinct yet replayable.
+func resolveReconnect(p ReconnectPolicy, interval time.Duration, seed int64, node int) tcpnet.ReconnectPolicy {
+	if p.MaxAttempts < 0 {
+		return tcpnet.ReconnectPolicy{} // reconnection disabled: fail fast
+	}
+	attempts := p.MaxAttempts
+	if attempts == 0 {
+		attempts = 5
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 2 * interval
+		if base < 20*time.Millisecond {
+			base = 20 * time.Millisecond
+		}
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = time.Second
+	}
+	return tcpnet.ReconnectPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   base,
+		MaxDelay:    maxd,
+		Seed:        int64(tcpJitter(seed, node, 0x5eed)),
+	}
 }
 
 // TCPHub is the public handle on the anonymous broadcast relay, for
@@ -168,6 +233,13 @@ func (h *TCPHub) Addr() string { return h.inner.Addr() }
 // Close stops the hub and all its connections.
 func (h *TCPHub) Close() error { return h.inner.Close() }
 
+// HubStats is the hub's robustness counters (sessions, resumptions,
+// heartbeat misses, dropped connections).
+type HubStats = tcpnet.HubStats
+
+// Stats snapshots the hub's robustness counters.
+func (h *TCPHub) Stats() HubStats { return h.inner.Stats() }
+
 // JoinTCP joins the hub at hubAddr as one anonymous process proposing
 // proposal, and blocks until that process decides, the run times out, or
 // ctx is cancelled. The relevant options are WithEnv, WithInterval and
@@ -187,12 +259,17 @@ func JoinTCP(ctx context.Context, hubAddr string, proposal Value, opts ...Option
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	interval := o.interval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
 	factory := automatonFactory(o.resolvedEnv(), []Value{proposal})
 	res, err := tcpnet.RunNode(ctx, tcpnet.NodeConfig{
 		HubAddr:   hubAddr,
 		Automaton: factory(0),
 		Interval:  o.interval,
 		Timeout:   o.timeout,
+		Reconnect: resolveReconnect(o.reconnect, interval, o.seed, 0),
 	})
 	if err != nil {
 		return Decision{}, err
