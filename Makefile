@@ -24,7 +24,7 @@ BENCH_THRESHOLD ?= 100
 STATICCHECK_MOD ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK_MOD ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: test race build vet lint lint-external bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke chaos-smoke
+.PHONY: test race build vet lint lint-external bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke chaos-smoke mux-smoke
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,20 @@ chaos-smoke:
 	$(GO) test -race -short -count=1 ./internal/netchaos
 	$(GO) test -race -short -count=1 -run 'Reconnect|HubRestart|NeverHeals|Heartbeat|Overwhelm' ./internal/tcpnet
 	$(GO) test -race -short -count=1 -run 'TestTCPChaos' .
+
+# mux-smoke is the multi-tenant service plane's quick pass, run by CI on
+# every push, all under the race detector: the Propose/Wait/Forget/Close
+# stress at several WithMaxInFlight widths, pooled-sim determinism
+# (recycled engines byte-identical to fresh ones), admission control
+# (token bucket + queue overflow shed as ErrOverloaded), the TCP
+# multiplexing acceptance tests (many epochs over one hub and one
+# connection per process, epoch-scoped retirement and replay, reconnect
+# resumption), and the sustained-load scaling assertion — a k=8 pool must
+# beat the sequential session at least 2× on the timer-bound live
+# backend, which holds on any core count.
+mux-smoke:
+	$(GO) test -race -count=1 -run 'TestNodeStress|TestNodePool|TestNodeCloseMidFlight|TestSimPoolDeterminism|TestAdmission|TestEventDrop|TestTCPMux|TestServiceThroughputScales' .
+	$(GO) test -race -short -count=1 -run 'TestMux|TestRetireEpoch|TestEpoch' ./internal/tcpnet ./internal/wire
 
 # explore-smoke is the exploration plane's quick pass, run by CI on every
 # push: the exhaustive n=2 space (X1 quick), 10k randomized PCT-style

@@ -1,0 +1,134 @@
+package anonconsensus
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded is returned (wrapped, with the instance ID) by Propose
+// when the node's admission controller sheds the call: the token bucket
+// is empty in fast-reject mode, or the instance queue is full under
+// admission control. The instance was not accepted — no events were
+// emitted, nothing was registered, and the ID remains free — so the
+// caller can back off and retry. See WithAdmission.
+var ErrOverloaded = errors.New("anonconsensus: node overloaded")
+
+// tokenBucket is the Node's admission controller: a classic token bucket
+// refilled continuously at rate tokens/second up to burst. It is
+// intentionally wall-clock based — admission shapes real traffic on the
+// serving plane and has no bearing on instance determinism, which is
+// fixed per instance by its spec and seed.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// refill credits tokens accrued since the last call. Callers hold b.mu.
+func (b *tokenBucket) refill() {
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// tryTake consumes one token if available, without blocking.
+func (b *tokenBucket) tryTake() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// take blocks until it consumes a token, ctx is done, or stop closes.
+// Concurrent takers race for tokens as they accrue (no FIFO fairness).
+func (b *tokenBucket) take(ctx context.Context, stop <-chan struct{}) error {
+	for {
+		b.mu.Lock()
+		b.refill()
+		if b.tokens >= 1 {
+			b.tokens--
+			b.mu.Unlock()
+			return nil
+		}
+		need := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if need < time.Millisecond {
+			need = time.Millisecond
+		}
+		t := time.NewTimer(need)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-stop:
+			t.Stop()
+			return ErrNodeClosed
+		case <-t.C:
+		}
+	}
+}
+
+// NodeStats is a snapshot of a Node session's service counters: the
+// admission plane (admitted/rejected), occupancy (in-flight, queued,
+// peak), cumulative queue wait, and the Decisions() feed's dropped-event
+// count. Counters are cumulative since NewNode except InFlight and
+// Queued, which are instantaneous.
+type NodeStats struct {
+	// Admitted counts proposals accepted into the queue; Rejected counts
+	// proposals shed with ErrOverloaded (empty bucket or full queue).
+	Admitted, Rejected int64
+	// Completed counts instances a worker finished — decided, failed, or
+	// cancelled. Proposals that failed before reaching a worker are not
+	// completed (nor admitted).
+	Completed int64
+	// InFlight is the number of instances running right now; Queued the
+	// number waiting in the instance queue; PeakInFlight the maximum
+	// InFlight observed.
+	InFlight, Queued, PeakInFlight int
+	// MaxInFlight and QueueDepth echo the session's configured pool size
+	// and queue capacity.
+	MaxInFlight, QueueDepth int
+	// QueueWait is the total time admitted instances spent queued before
+	// a worker picked them up; divide by Completed for the mean.
+	QueueWait time.Duration
+	// EventsDropped counts Decisions() feed events discarded because the
+	// bounded backlog overflowed with no consumer draining it.
+	EventsDropped int64
+}
+
+// Stats snapshots the session's service counters. It is cheap and safe
+// to call from any goroutine, including a Decisions() consumer.
+func (n *Node) Stats() NodeStats {
+	n.statMu.Lock()
+	s := NodeStats{
+		Admitted:     n.admitted,
+		Rejected:     n.rejected,
+		Completed:    n.completed,
+		InFlight:     n.inFlight,
+		PeakInFlight: n.peakInFlight,
+		QueueWait:    n.queueWait,
+	}
+	n.statMu.Unlock()
+	s.Queued = len(n.queue)
+	s.MaxInFlight = n.workers
+	s.QueueDepth = cap(n.queue)
+	n.evMu.Lock()
+	s.EventsDropped = n.evDropped
+	n.evMu.Unlock()
+	return s
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -355,6 +356,129 @@ func BenchmarkBatchES(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant service benchmarks: sustained throughput through a Node
+// session (Propose/Wait over a worker pool), reported as decisions/sec
+// (instances decided per second) and queue-ms (mean per-instance queue
+// wait). The decisions/sec figure rides into BENCH_consensus.json as a
+// custom metric via tools/benchjson.
+
+// benchServiceThroughput pushes `instances` consensus instances through
+// one Node from `producers` concurrent proposers, each Proposing
+// (blocking on queue backpressure) and Waiting its own instances.
+func benchServiceThroughput(b *testing.B, mk func() anonconsensus.Transport, instances int, opts ...anonconsensus.Option) {
+	b.Helper()
+	b.ReportAllocs()
+	const producers = 16
+	var totalSec, totalQueueMs float64
+	for i := 0; i < b.N; i++ {
+		node, err := anonconsensus.NewNode(mk(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := p; j < instances; j += producers {
+					id := fmt.Sprintf("b%d-i%d", i, j)
+					if err := node.Propose(context.Background(), id,
+						[]anonconsensus.Value{
+							anonconsensus.NumValue(int64(j)),
+							anonconsensus.NumValue(int64(j + 1)),
+							anonconsensus.NumValue(int64(j + 2)),
+						},
+						anonconsensus.WithSeed(int64(j))); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := node.Wait(context.Background(), id); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		stats := node.Stats()
+		if err := node.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if stats.Completed != int64(instances) {
+			b.Fatalf("completed %d of %d instances", stats.Completed, instances)
+		}
+		totalSec += elapsed.Seconds()
+		totalQueueMs += stats.QueueWait.Seconds() * 1e3 / float64(instances)
+	}
+	b.ReportMetric(float64(instances)*float64(b.N)/totalSec, "decisions/sec")
+	b.ReportMetric(totalQueueMs/float64(b.N), "queue-ms")
+}
+
+// BenchmarkServiceSimBaseline1k is the pre-PR baseline: sequential
+// session (k=1) over the unpooled sim transport (fresh engine per Run).
+func BenchmarkServiceSimBaseline1k(b *testing.B) {
+	benchServiceThroughput(b, anonconsensus.NewSimTransportUnpooledForTest, 1000,
+		anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(2))
+}
+
+// BenchmarkServiceSimSequential1k isolates the engine pool: still k=1,
+// but Run reuses pooled engines via Reset instead of allocating.
+func BenchmarkServiceSimSequential1k(b *testing.B) {
+	benchServiceThroughput(b, anonconsensus.NewSimTransport, 1000,
+		anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(2))
+}
+
+// BenchmarkServiceSimPooled1k adds the worker pool (k=8) on top of the
+// engine pool. The sim backend is CPU-bound, so the speedup over
+// Sequential1k tracks the core count — on a single-core host the win is
+// confined to the allocation savings, and the ≥4× multiplexing headline
+// shows on the timer-bound live/TCP backends instead (PERFORMANCE.md).
+func BenchmarkServiceSimPooled1k(b *testing.B) {
+	benchServiceThroughput(b, anonconsensus.NewSimTransport, 1000,
+		anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(2),
+		anonconsensus.WithMaxInFlight(8), anonconsensus.WithQueueDepth(256))
+}
+
+// BenchmarkServiceSim10k is the sustained-load shape: 10k instances
+// through one session.
+func BenchmarkServiceSim10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-instance sustained run; run without -short")
+	}
+	benchServiceThroughput(b, anonconsensus.NewSimTransport, 10000,
+		anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(2),
+		anonconsensus.WithMaxInFlight(8), anonconsensus.WithQueueDepth(256))
+}
+
+// BenchmarkServiceLiveSequential / Pool16: the live backend's rounds are
+// real timers, so overlapping instances overlap their timer waits — the
+// pool multiplies throughput even on one core.
+func BenchmarkServiceLiveSequential(b *testing.B) {
+	benchServiceThroughput(b, anonconsensus.NewLiveTransport, 48,
+		anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(0),
+		anonconsensus.WithInterval(2*time.Millisecond), anonconsensus.WithTimeout(30*time.Second))
+}
+
+func BenchmarkServiceLivePool16(b *testing.B) {
+	benchServiceThroughput(b, anonconsensus.NewLiveTransport, 48,
+		anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(0),
+		anonconsensus.WithInterval(2*time.Millisecond), anonconsensus.WithTimeout(30*time.Second),
+		anonconsensus.WithMaxInFlight(16), anonconsensus.WithQueueDepth(64))
+}
+
+// BenchmarkServiceTCPMux runs the multiplexed TCP plane: every instance
+// is an epoch on ONE shared hub and three persistent connections.
+func BenchmarkServiceTCPMux(b *testing.B) {
+	benchServiceThroughput(b, anonconsensus.NewTCPMuxTransport, 32,
+		anonconsensus.WithEnv(anonconsensus.EnvES), anonconsensus.WithGST(0),
+		anonconsensus.WithInterval(4*time.Millisecond), anonconsensus.WithTimeout(30*time.Second),
+		anonconsensus.WithMaxInFlight(8), anonconsensus.WithQueueDepth(64))
 }
 
 // BenchmarkPublicRunBatch exercises the public fan-out entry point.

@@ -7,10 +7,17 @@
 //	anonlive -n 5 -env ess -gst 6 -source 2 -interval 5ms
 //	anonlive -n 8 -env es -crash 0:2 -crash 3:5
 //	anonlive -n 5 -instances 3        # several instances over one session
+//	anonlive -instances 20 -inflight 8 -admit 50:10   # service mode
+//
+// -inflight widens the session's worker pool so several instances run
+// concurrently; -admit rate:burst puts a token bucket in front of
+// Propose — shed instances are reported, not fatal — and the session's
+// occupancy and admission counters are printed on shutdown.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +50,26 @@ func (c crashFlags) Set(s string) error {
 	return nil
 }
 
+// parseAdmit parses an -admit rate:burst flag value ("" = disabled).
+func parseAdmit(s string) (rate float64, burst int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want rate:burst, got %q", s)
+	}
+	rate, err = strconv.ParseFloat(parts[0], 64)
+	if err != nil || rate <= 0 {
+		return 0, 0, fmt.Errorf("bad rate in %q (want a positive number)", s)
+	}
+	burst, err = strconv.Atoi(parts[1])
+	if err != nil || burst < 1 {
+		return 0, 0, fmt.Errorf("bad burst in %q (want a positive integer)", s)
+	}
+	return rate, burst, nil
+}
+
 func main() {
 	var (
 		n         = flag.Int("n", 5, "number of anonymous processes")
@@ -53,18 +80,20 @@ func main() {
 		interval  = flag.Duration("interval", 5*time.Millisecond, "round timer period")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-instance timeout")
 		instances = flag.Int("instances", 1, "number of consensus instances to run over the session")
+		inflight  = flag.Int("inflight", 1, "max concurrently running instances (worker pool width)")
+		admit     = flag.String("admit", "", "admission token bucket as rate:burst (e.g. 50:10; empty = no admission control)")
 		crashes   = crashFlags{}
 	)
 	flag.Var(crashes, "crash", "crash schedule pid:round (repeatable)")
 	flag.Parse()
 
-	if err := run(*n, *env, *gst, *source, *seed, *interval, *timeout, *instances, crashes); err != nil {
+	if err := run(*n, *env, *gst, *source, *seed, *interval, *timeout, *instances, *inflight, *admit, crashes); err != nil {
 		fmt.Fprintln(os.Stderr, "anonlive:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, envName string, gst, source int, seed int64, interval, timeout time.Duration, instances int, crashes crashFlags) error {
+func run(n int, envName string, gst, source int, seed int64, interval, timeout time.Duration, instances, inflight int, admit string, crashes crashFlags) error {
 	env, err := anonconsensus.ParseEnvironment(envName)
 	if err != nil {
 		return err
@@ -72,8 +101,7 @@ func run(n int, envName string, gst, source int, seed int64, interval, timeout t
 	if instances < 1 {
 		return fmt.Errorf("need at least 1 instance, got %d", instances)
 	}
-
-	node, err := anonconsensus.NewNode(anonconsensus.NewLiveTransport(),
+	opts := []anonconsensus.Option{
 		anonconsensus.WithEnv(env),
 		anonconsensus.WithGST(gst),
 		anonconsensus.WithStableSource(source),
@@ -81,7 +109,19 @@ func run(n int, envName string, gst, source int, seed int64, interval, timeout t
 		anonconsensus.WithCrashes(crashes),
 		anonconsensus.WithInterval(interval),
 		anonconsensus.WithTimeout(timeout),
-	)
+	}
+	if inflight > 1 {
+		opts = append(opts, anonconsensus.WithMaxInFlight(inflight))
+	}
+	rate, burst, err := parseAdmit(admit)
+	if err != nil {
+		return fmt.Errorf("-admit: %w", err)
+	}
+	if rate > 0 {
+		opts = append(opts, anonconsensus.WithAdmission(rate, burst))
+	}
+
+	node, err := anonconsensus.NewNode(anonconsensus.NewLiveTransport(), opts...)
 	if err != nil {
 		return err
 	}
@@ -93,20 +133,27 @@ func run(n int, envName string, gst, source int, seed int64, interval, timeout t
 		fmt.Printf("  process %d will crash after round %d\n", pid, r)
 	}
 
-	// Enqueue every instance up front; the node runs them in order. The
-	// Decisions feed narrates (best-effort by design), while Wait is the
-	// authoritative per-instance outcome the exit status hangs on.
+	// Enqueue every instance up front; the node runs them in Propose order
+	// (up to -inflight at a time). Under -admit, a shed instance is an
+	// expected operator-visible outcome, not a failure. The Decisions feed
+	// narrates (best-effort by design), while Wait is the authoritative
+	// per-instance outcome the exit status hangs on.
 	ctx := context.Background()
-	ids := make([]string, instances)
+	var ids []string
 	for k := 0; k < instances; k++ {
 		proposals := make([]anonconsensus.Value, n)
 		for i := range proposals {
 			proposals[i] = anonconsensus.NumValue(int64(100*(k+1) + i))
 		}
-		ids[k] = fmt.Sprintf("instance-%d", k+1)
-		if err := node.Propose(ctx, ids[k], proposals); err != nil {
+		id := fmt.Sprintf("instance-%d", k+1)
+		if err := node.Propose(ctx, id, proposals); err != nil {
+			if errors.Is(err, anonconsensus.ErrOverloaded) {
+				fmt.Printf("== %s shed: %v ==\n", id, err)
+				continue
+			}
 			return err
 		}
+		ids = append(ids, id)
 	}
 
 	printerDone := make(chan struct{})
@@ -145,5 +192,9 @@ func run(n int, envName string, gst, source int, seed int64, interval, timeout t
 	// instance's narration from being lost at process exit.
 	node.Close()
 	<-printerDone
+	s := node.Stats()
+	fmt.Printf("session stats: admitted=%d rejected=%d completed=%d peak-in-flight=%d/%d queue-wait=%s events-dropped=%d\n",
+		s.Admitted, s.Rejected, s.Completed, s.PeakInFlight, s.MaxInFlight,
+		s.QueueWait.Round(time.Millisecond), s.EventsDropped)
 	return nil
 }

@@ -26,26 +26,51 @@ func TestCrashFlagsParsing(t *testing.T) {
 	}
 }
 
+func TestAdmitFlagParsing(t *testing.T) {
+	rate, burst, err := parseAdmit("50:10")
+	if err != nil || rate != 50 || burst != 10 {
+		t.Errorf("parseAdmit(50:10) = %v, %v, %v", rate, burst, err)
+	}
+	rate, burst, err = parseAdmit("0.5:1")
+	if err != nil || rate != 0.5 || burst != 1 {
+		t.Errorf("parseAdmit(0.5:1) = %v, %v, %v", rate, burst, err)
+	}
+	if rate, burst, err = parseAdmit(""); err != nil || rate != 0 || burst != 0 {
+		t.Errorf("empty -admit must mean disabled, got %v, %v, %v", rate, burst, err)
+	}
+	for _, bad := range []string{"50", "x:1", "1:y", ":", "-1:5", "5:0"} {
+		if _, _, err := parseAdmit(bad); err == nil {
+			t.Errorf("parseAdmit(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRunRejectsUnknownEnv(t *testing.T) {
-	if err := run(3, "banana", 2, 0, 1, time.Millisecond, time.Second, 1, crashFlags{}); err == nil {
+	if err := run(3, "banana", 2, 0, 1, time.Millisecond, time.Second, 1, 1, "", crashFlags{}); err == nil {
 		t.Error("unknown environment accepted")
 	}
 }
 
 func TestRunRejectsZeroInstances(t *testing.T) {
-	if err := run(3, "es", 2, 0, 1, time.Millisecond, time.Second, 0, crashFlags{}); err == nil {
+	if err := run(3, "es", 2, 0, 1, time.Millisecond, time.Second, 0, 1, "", crashFlags{}); err == nil {
 		t.Error("zero instances accepted")
 	}
 }
 
+func TestRunRejectsBadAdmit(t *testing.T) {
+	if err := run(3, "es", 2, 0, 1, time.Millisecond, time.Second, 1, 1, "nope", crashFlags{}); err == nil {
+		t.Error("malformed -admit accepted")
+	}
+}
+
 func TestRunLiveEndToEnd(t *testing.T) {
-	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, 1, crashFlags{}); err != nil {
+	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, 1, 1, "", crashFlags{}); err != nil {
 		t.Errorf("es run failed: %v", err)
 	}
 }
 
 func TestRunLiveESSWithCrash(t *testing.T) {
-	if err := run(4, "ess", 3, 2, 1, 4*time.Millisecond, 30*time.Second, 1, crashFlags{0: 2}); err != nil {
+	if err := run(4, "ess", 3, 2, 1, 4*time.Millisecond, 30*time.Second, 1, 1, "", crashFlags{0: 2}); err != nil {
 		t.Errorf("ess run failed: %v", err)
 	}
 }
@@ -54,7 +79,21 @@ func TestRunLiveMultiInstanceSession(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multiple live instances in -short mode")
 	}
-	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, 3, crashFlags{}); err != nil {
+	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, 3, 1, "", crashFlags{}); err != nil {
 		t.Errorf("multi-instance session failed: %v", err)
+	}
+}
+
+// TestRunLiveServiceMode drives the service shape end to end: a worker
+// pool runs instances concurrently while the token bucket sheds the
+// overflow — shed instances must not fail the run.
+func TestRunLiveServiceMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple live instances in -short mode")
+	}
+	// Burst 2 at a negligible refill rate: of 4 instances, 2 are admitted
+	// and 2 shed, and the run still exits cleanly.
+	if err := run(3, "es", 2, 0, 1, 4*time.Millisecond, 20*time.Second, 4, 4, "0.001:2", crashFlags{}); err != nil {
+		t.Errorf("service-mode run failed: %v", err)
 	}
 }

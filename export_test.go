@@ -1,0 +1,9 @@
+package anonconsensus
+
+// Test-only exports for the external bench/test package
+// (anonconsensus_test), which cannot reach unexported identifiers.
+
+// NewSimTransportUnpooledForTest exposes the pre-pooling sim transport —
+// a fresh engine allocation per Run — as the baseline the engine-pool
+// benchmarks measure against.
+func NewSimTransportUnpooledForTest() Transport { return newSimTransportUnpooled() }

@@ -206,6 +206,14 @@ func Run(parent context.Context, cfg Config) (*Result, error) {
 	}, nil
 }
 
+// maxQuietBeats bounds the round-pacing gate in runProcess: after this
+// many consecutive timer beats below the inbound-envelope threshold, a
+// round runs anyway. It trades sole-survivor latency (each round then
+// takes this many beats) for a much wider starvation window before a
+// loaded box could let ES decide against a stale or solo view — see the
+// pacing comment in runProcess.
+const maxQuietBeats = 8
+
 // runProcess is one process's event loop.
 func (nw *network) runProcess(id int) ProcResult {
 	aut := nw.cfg.Automaton(id)
@@ -217,6 +225,25 @@ func (nw *network) runProcess(id int) ProcResult {
 	ticker := time.NewTicker(nw.cfg.Interval)
 	defer ticker.Stop()
 
+	// Round pacing: on a loaded box the round timer can outpace delivery —
+	// a process that runs two beats while its peers' envelopes sit in the
+	// link queues sees only its own value and can satisfy the ES decide
+	// guard against that starved view, breaking agreement. broadcast never
+	// fans out to the sender, so inbound envelopes are a true peer-traffic
+	// signal: a beat only executes a round once roughly one envelope per
+	// peer arrived since the previous round (each peer broadcasts once per
+	// round), with a bounded silent-beat escape (maxQuietBeats) so crashed
+	// or halted peers cannot stall a survivor forever. Round 1 is exempt
+	// (inbound starts satisfied): nobody has broadcast yet, and the decide
+	// guards cannot fire against an empty WRITTENOLD. Same discipline as
+	// the multiplexed TCP plane (tcpnet.RunInstance).
+	need := nw.cfg.N - 1
+	if need < 1 {
+		need = 1
+	}
+	inbound := need // satisfied: round 1 fires on the first beat
+	quiet := 0
+
 	var res ProcResult
 	for {
 		select {
@@ -225,7 +252,15 @@ func (nw *network) runProcess(id int) ProcResult {
 			return res
 		case env := <-nw.in[id]:
 			proc.Receive(env)
+			inbound++
 		case <-ticker.C:
+			if inbound < need {
+				if quiet++; quiet < maxQuietBeats {
+					continue // pace rounds to peer traffic (see above)
+				}
+			}
+			inbound = 0
+			quiet = 0
 			if crashAfter > 0 && proc.CurrentRound() >= crashAfter {
 				res.Crashed = true
 				res.Rounds = proc.CurrentRound()

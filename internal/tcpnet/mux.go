@@ -1,0 +1,519 @@
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/wire"
+)
+
+// MuxNode is a persistent hub attachment that multiplexes many consensus
+// instances over ONE TCP connection and ONE resumable hub session. Each
+// in-flight instance is a registered epoch: outbound frames are
+// epoch-tagged (0xD6; see internal/wire), a single reader goroutine
+// demultiplexes inbound frames into per-epoch inboxes, and the delta
+// plane is a per-epoch family — one DeltaTracker per epoch on the
+// uplink, one ResolveTable per epoch on the downlink — so streams of
+// different instances never resolve against each other.
+//
+// Connection losses are survived with the same resumable-session
+// machinery as RunNode: the node redials with the configured backoff,
+// resumes its session by token, and the hub replays the frames it
+// missed (epoch tags included, so replay demultiplexes like live
+// traffic). Every delta tracker resets on reconnect — frames in flight
+// at the loss may never have reached the hub, and a delta reference must
+// only point at the previous frame of its own stream.
+//
+// A MuxNode whose reconnect budget is exhausted is dead: RunInstance
+// calls return an error wrapping ErrHubLost, which callers treat as a
+// crash of this node (for every epoch it carried), not of the hub.
+type MuxNode struct {
+	cfg MuxConfig
+
+	mu     sync.Mutex
+	epochs map[uint64]*muxEpoch
+	stats  MuxStats
+	closed bool
+
+	// writeMu serializes uplink writers (RunInstance goroutines) and
+	// guards the connection/tracker swap on reconnect.
+	writeMu  sync.Mutex
+	conn     net.Conn
+	trackers map[uint64]*giraf.DeltaTracker
+
+	token  uint64 // hub session token (reader-owned after DialMux)
+	cursor uint64 // data frames received on the session (reader-owned)
+
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	stop       chan struct{}
+	dead       chan struct{} // closed once the session is permanently lost
+	deadErr    error         // set before dead closes
+	readerDone chan struct{}
+}
+
+// muxEpoch is one registered instance stream: its demux inbox and the
+// resolve side of its delta family. The table is touched only by the
+// reader goroutine.
+type muxEpoch struct {
+	inbox chan giraf.Envelope
+	table *giraf.ResolveTable
+}
+
+// MuxConfig configures a MuxNode.
+type MuxConfig struct {
+	// HubAddr is the hub's TCP address.
+	HubAddr string
+	// DialTimeout bounds each dial + handshake; defaults to 5s.
+	DialTimeout time.Duration
+	// Reconnect governs recovery from a lost hub connection; the zero
+	// policy fails fast (the first loss kills every epoch).
+	Reconnect ReconnectPolicy
+	// InboxDepth is each epoch's demux buffer; defaults to 1024. A full
+	// inbox drops the frame (counted in MuxStats.InboxDrops) — safe, as
+	// the model already allows asynchronous rounds, and the next
+	// broadcast carries the sender's cumulative state anyway.
+	InboxDepth int
+}
+
+// MuxStats counts a MuxNode's robustness events, cumulative since
+// DialMux.
+type MuxStats struct {
+	// Reconnects / ReplayedFrames / FailedDials / HeartbeatsAcked mirror
+	// NodeResult's session-resumption counters for the shared connection.
+	Reconnects      int
+	ReplayedFrames  int
+	FailedDials     int
+	HeartbeatsAcked int
+	// UnknownEpochFrames counts inbound frames tagged with an epoch this
+	// node has no registration for (a peer's straggler after local
+	// Unregister, or traffic for an instance this node never joined).
+	UnknownEpochFrames int
+	// InboxDrops counts frames discarded because their epoch's inbox was
+	// full.
+	InboxDrops int
+}
+
+// DialMux attaches to the hub and starts the demultiplexing reader. The
+// returned node is ready for Register/RunInstance; Close detaches.
+func DialMux(ctx context.Context, cfg MuxConfig) (*MuxNode, error) {
+	if cfg.HubAddr == "" {
+		return nil, errors.New("tcpnet: mux: empty hub address")
+	}
+	conn, welcome, err := dialHub(ctx, cfg.HubAddr, cfg.DialTimeout, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: mux: dialing hub: %w", err)
+	}
+	m := &MuxNode{
+		cfg:        cfg,
+		epochs:     make(map[uint64]*muxEpoch),
+		trackers:   make(map[uint64]*giraf.DeltaTracker),
+		conn:       conn,
+		token:      welcome.Token,
+		cursor:     welcome.ResumeFrom,
+		stop:       make(chan struct{}),
+		dead:       make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	m.lifeCtx, m.lifeCancel = context.WithCancel(context.Background())
+	//detlint:goroutine the reader lives exactly as long as the MuxNode: Close joins it via readerDone
+	go m.readerLoop(conn)
+	return m, nil
+}
+
+// Register opens an instance epoch (≥ 1) on this node: inbound frames
+// tagged with it will demultiplex into the epoch's inbox. Register every
+// participating node's epoch before starting any of the instance's
+// automata — frames for unregistered epochs are dropped, which is legal
+// (asynchrony) but wasteful.
+func (m *MuxNode) Register(epoch uint64) error {
+	if epoch == 0 {
+		return errors.New("tcpnet: mux: epoch 0 is the unmultiplexed plane; epochs start at 1")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("tcpnet: mux: node is closed")
+	}
+	if _, dup := m.epochs[epoch]; dup {
+		return fmt.Errorf("tcpnet: mux: epoch %d already registered", epoch)
+	}
+	depth := m.cfg.InboxDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	m.epochs[epoch] = &muxEpoch{
+		inbox: make(chan giraf.Envelope, depth),
+		table: giraf.NewResolveTable(),
+	}
+	return nil
+}
+
+// Unregister closes an instance epoch: its inbox and resolve table are
+// released, and further frames for it count as unknown. Idempotent.
+func (m *MuxNode) Unregister(epoch uint64) {
+	m.mu.Lock()
+	delete(m.epochs, epoch)
+	m.mu.Unlock()
+	m.writeMu.Lock()
+	delete(m.trackers, epoch)
+	m.writeMu.Unlock()
+}
+
+// InstanceRun drives one instance over a registered epoch.
+type InstanceRun struct {
+	// Automaton is the GIRAF automaton to run.
+	Automaton giraf.Automaton
+	// Interval is the local round-timer period; defaults to 10ms.
+	Interval time.Duration
+	// Timeout bounds the run; defaults to 30s.
+	Timeout time.Duration
+	// JoinGrace delays the first end-of-round so replayed/early traffic
+	// is consumed first; defaults to 3×Interval (see NodeConfig).
+	JoinGrace time.Duration
+	// CrashAfterRounds stops the node after that many end-of-rounds
+	// (simulated crash). Zero means never.
+	CrashAfterRounds int
+	// Peers is the instance's process count n. When set (> 1), rounds
+	// after the first are paced to peer traffic: a timer beat only
+	// executes a round once ~n−1 envelopes arrived since the previous
+	// round (each peer broadcasts once per round), with a maxQuietBeats
+	// escape so crashed or halted peers cannot stall a survivor forever.
+	// Zero or one keeps the minimal gate (any one envelope).
+	Peers int
+}
+
+// maxQuietBeats bounds the round-pacing gate in RunInstance: after this
+// many consecutive timer beats below the inbound-envelope threshold, a
+// round runs anyway. It trades sole-survivor latency (each round then
+// takes this many beats) for a much wider starvation window before a
+// loaded box could let ES decide against a stale or solo view — see the
+// pacing comment in RunInstance.
+const maxQuietBeats = 8
+
+// RunInstance drives cfg.Automaton on the given registered epoch until
+// it decides, the timeout expires, or the shared session is lost
+// (ErrHubLost). Many RunInstance calls proceed concurrently on one
+// MuxNode, one per epoch; all of them share the node's single hub
+// connection.
+func (m *MuxNode) RunInstance(ctx context.Context, epoch uint64, cfg InstanceRun) (*NodeResult, error) {
+	if cfg.Automaton == nil {
+		return nil, errors.New("tcpnet: nil automaton")
+	}
+	m.mu.Lock()
+	ep := m.epochs[epoch]
+	m.mu.Unlock()
+	if ep == nil {
+		return nil, fmt.Errorf("tcpnet: mux: epoch %d not registered", epoch)
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	proc := giraf.NewProc(cfg.Automaton)
+	res := &NodeResult{}
+	grace := cfg.JoinGrace
+	if grace <= 0 {
+		grace = 3 * interval
+	}
+	graceOver := time.After(grace)
+	started := false
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	// Round pacing: on a multi-tenant box dozens of instances share the
+	// scheduler, and wall-clock rounds outpacing delivery violates the ES
+	// premise the automatons' safety rests on — a process that runs two
+	// beats while a peer's frames are in flight can satisfy the decide
+	// guard prematurely, or let a decided subset leave a straggler locked
+	// on a stale value. The hub never echoes a sender's own frames, so
+	// inbound envelopes are a true peer-traffic signal: a beat only
+	// executes a round once roughly one envelope per peer arrived since
+	// the previous round (each peer broadcasts once per round), with a
+	// bounded silent-beat escape (maxQuietBeats) so crashed or halted
+	// peers cannot stall a survivor forever. Round 1 is exempt (inbound
+	// starts satisfied): nobody has broadcast yet, and the decide guards
+	// cannot fire against an empty WRITTENOLD.
+	need := cfg.Peers - 1
+	if need < 1 {
+		need = 1
+	}
+	inbound := need // satisfied: round 1 fires on the first beat
+	quiet := 0
+	for {
+		select {
+		case <-ctx.Done():
+			res.Rounds = proc.CurrentRound()
+			return res, nil
+		case <-m.dead:
+			res.Rounds = proc.CurrentRound()
+			return res, m.deadErr
+		case env := <-ep.inbox:
+			proc.Receive(env)
+			inbound++
+		case <-graceOver:
+			started = true
+		case <-ticker.C:
+			if !started {
+				continue // still consuming replayed / early traffic
+			}
+			if !m.attached() {
+				// The shared connection is down and the reader is
+				// redialing. Do not execute rounds solo: a node that
+				// hears only itself cannot distinguish "alone" from
+				// "cut off", and deciding on that view would break
+				// agreement. RunNode gets this for free by blocking in
+				// lose(); the mux equivalent is skipping beats.
+				continue
+			}
+			if inbound < need {
+				if quiet++; quiet < maxQuietBeats {
+					continue // pace rounds to peer traffic (see above)
+				}
+			}
+			inbound = 0
+			quiet = 0
+			if cfg.CrashAfterRounds > 0 && proc.CurrentRound() >= cfg.CrashAfterRounds {
+				res.Crashed = true
+				res.Rounds = proc.CurrentRound()
+				return res, nil
+			}
+			computing := proc.CurrentRound()
+			env, ok := proc.EndOfRound()
+			if proc.Halted() {
+				d := proc.Decision()
+				res.Decided = true
+				res.Decision = d.Value
+				res.Round = computing
+				res.Rounds = proc.CurrentRound()
+				return res, nil
+			}
+			if !ok {
+				continue
+			}
+			// A failed send means the connection is churning; the reader
+			// reconnects (or declares the node dead, which the m.dead arm
+			// notices). The lost broadcast costs an asynchronous round —
+			// the next one re-carries the cumulative state in full,
+			// because send dropped this epoch's tracker.
+			_ = m.send(epoch, env)
+		}
+	}
+}
+
+// send delta-compresses env against its epoch's uplink stream and writes
+// one epoch-tagged frame to the shared connection.
+func (m *MuxNode) send(epoch uint64, env giraf.Envelope) error {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if m.conn == nil {
+		return ErrHubLost
+	}
+	tr := m.trackers[epoch]
+	if tr == nil {
+		tr = giraf.NewDeltaTracker()
+		m.trackers[epoch] = tr
+	}
+	delta := tr.Shrink(env)
+	data, err := wire.EncodeDeltaEnvelopeEpoch(delta, epoch)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(m.conn, data); err != nil {
+		// The frame may never have reached the hub: drop the tracker so
+		// the next broadcast resends full payloads on whatever stream
+		// follows.
+		delete(m.trackers, epoch)
+		return err
+	}
+	return nil
+}
+
+// readerLoop is the node's single demultiplexer: it pumps the shared
+// connection, answers heartbeats, advances the session cursor, and
+// routes data frames to their epoch's inbox. On a connection loss it
+// owns recovery — redial, session resume, tracker reset — so writers
+// never race it for the dial.
+func (m *MuxNode) readerLoop(conn net.Conn) {
+	defer close(m.readerDone)
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			// Detach before redialing: a nil conn makes writers fail fast
+			// and pauses every RunInstance's round execution (see the
+			// attached() gate) — a disconnected node must not run rounds
+			// solo, for the same reason RunNode blocks inside lose().
+			m.writeMu.Lock()
+			if m.conn != nil {
+				_ = m.conn.Close()
+				m.conn = nil
+			}
+			m.writeMu.Unlock()
+			select {
+			case <-m.stop:
+				// Close: mark the session dead so in-flight RunInstance
+				// calls return promptly instead of running out their
+				// timeouts against a connection that no longer exists.
+				m.die(ErrHubLost)
+				return
+			default:
+			}
+			next, rerr := m.redial()
+			if rerr != nil {
+				m.die(rerr)
+				return
+			}
+			conn = next
+			continue
+		}
+		if kind, ok := wire.ControlKind(frame); ok {
+			if kind == wire.ControlHeartbeat {
+				if hb, herr := wire.DecodeHeartbeat(frame); herr == nil {
+					m.writeMu.Lock()
+					ok := m.conn != nil && wire.WriteFrame(m.conn, wire.EncodeHeartbeatAck(wire.Heartbeat{Seq: hb.Seq})) == nil
+					m.writeMu.Unlock()
+					if ok {
+						m.mu.Lock()
+						m.stats.HeartbeatsAcked++
+						m.mu.Unlock()
+					}
+				}
+			}
+			continue
+		}
+		// Every data frame occupies one slot of the session stream, so the
+		// cursor advances even for frames that fail to decode (else a
+		// resumption would replay the garbage forever).
+		m.cursor++
+		delta, epoch, err := wire.DecodeDeltaEnvelopeEpoch(frame)
+		if err != nil {
+			continue // corrupt frame: skip (crash-fault model)
+		}
+		m.mu.Lock()
+		ep := m.epochs[epoch]
+		if ep == nil {
+			m.stats.UnknownEpochFrames++
+			m.mu.Unlock()
+			continue
+		}
+		m.mu.Unlock()
+		// The table is reader-owned: resolve outside m.mu.
+		env, err := ep.table.Resolve(delta)
+		if err != nil {
+			continue // dangling reference (sender's frame was lost): skip
+		}
+		select {
+		case ep.inbox <- env:
+		default:
+			m.mu.Lock()
+			m.stats.InboxDrops++
+			m.mu.Unlock()
+		}
+	}
+}
+
+// redial re-establishes the shared connection with the policy's backoff
+// schedule, resuming the hub session by token, and swaps it in under
+// writeMu (resetting every uplink delta tracker).
+func (m *MuxNode) redial() (net.Conn, error) {
+	if !m.cfg.Reconnect.enabled() {
+		return nil, ErrHubLost
+	}
+	var lastErr error
+	for attempt := 0; attempt < m.cfg.Reconnect.MaxAttempts; attempt++ {
+		wait := time.NewTimer(m.cfg.Reconnect.backoff(attempt))
+		select {
+		case <-m.stop:
+			wait.Stop()
+			return nil, ErrHubLost
+		case <-wait.C:
+		}
+		conn, welcome, err := dialHub(m.lifeCtx, m.cfg.HubAddr, m.cfg.DialTimeout, m.token, m.cursor)
+		if err != nil {
+			lastErr = err
+			m.mu.Lock()
+			m.stats.FailedDials++
+			m.mu.Unlock()
+			continue
+		}
+		m.token = welcome.Token
+		m.cursor = welcome.ResumeFrom
+		m.writeMu.Lock()
+		m.conn = conn
+		// References may only point at the previous frame of the same
+		// stream, and the frames in flight at the loss may be gone:
+		// every epoch restarts its delta stream from full payloads.
+		clear(m.trackers)
+		m.writeMu.Unlock()
+		m.mu.Lock()
+		m.stats.Reconnects++
+		m.stats.ReplayedFrames += int(welcome.Pending)
+		m.mu.Unlock()
+		return conn, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w (last dial error: %v)", ErrHubLost, lastErr)
+	}
+	return nil, ErrHubLost
+}
+
+// die marks the session permanently lost: every current and future
+// RunInstance on this node returns err.
+func (m *MuxNode) die(err error) {
+	m.writeMu.Lock()
+	if m.conn != nil {
+		_ = m.conn.Close()
+		m.conn = nil
+	}
+	m.writeMu.Unlock()
+	m.deadErr = err
+	close(m.dead)
+}
+
+// attached reports whether the shared connection is currently up.
+func (m *MuxNode) attached() bool {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	return m.conn != nil
+}
+
+// Stats returns a snapshot of the node's robustness counters.
+func (m *MuxNode) Stats() MuxStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close detaches from the hub and stops the reader. In-flight
+// RunInstance calls end promptly (via the dead/reader machinery or their
+// own contexts). Idempotent.
+func (m *MuxNode) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	m.lifeCancel()
+	m.writeMu.Lock()
+	if m.conn != nil {
+		_ = m.conn.Close()
+		m.conn = nil
+	}
+	m.writeMu.Unlock()
+	<-m.readerDone
+	return nil
+}

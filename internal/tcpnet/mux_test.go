@@ -1,0 +1,305 @@
+package tcpnet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"anonconsensus/internal/core"
+	"anonconsensus/internal/giraf"
+	"anonconsensus/internal/values"
+	"anonconsensus/internal/wire"
+)
+
+// dialMuxCluster attaches n MuxNodes to the hub.
+func dialMuxCluster(t *testing.T, hub *Hub, n int) []*MuxNode {
+	t.Helper()
+	nodes := make([]*MuxNode, n)
+	for i := range nodes {
+		m, err := DialMux(context.Background(), MuxConfig{HubAddr: hub.Addr()})
+		if err != nil {
+			t.Fatalf("mux node %d: %v", i, err)
+		}
+		nodes[i] = m
+		t.Cleanup(func() { _ = m.Close() })
+	}
+	return nodes
+}
+
+// runMuxInstance registers epoch on every node, runs one consensus
+// instance over it, and asserts agreement + validity.
+func runMuxInstance(t *testing.T, nodes []*MuxNode, epoch uint64, interval time.Duration) {
+	t.Helper()
+	props := core.DistinctProposals(len(nodes))
+	for i, m := range nodes {
+		if err := m.Register(epoch); err != nil {
+			t.Fatalf("epoch %d node %d: %v", epoch, i, err)
+		}
+	}
+	defer func() {
+		for _, m := range nodes {
+			m.Unregister(epoch)
+		}
+	}()
+	results := make([]*NodeResult, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, m := range nodes {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = m.RunInstance(context.Background(), epoch, InstanceRun{
+				Automaton: core.NewES(props[i]),
+				Interval:  interval,
+				Timeout:   30 * time.Second,
+				Peers:     len(nodes),
+			})
+		}()
+	}
+	wg.Wait()
+	decided := values.NewSet()
+	for i := range nodes {
+		if errs[i] != nil {
+			t.Fatalf("epoch %d node %d: %v", epoch, i, errs[i])
+		}
+		if !results[i].Decided {
+			t.Fatalf("epoch %d node %d undecided after %d rounds", epoch, i, results[i].Rounds)
+		}
+		decided.Add(results[i].Decision)
+	}
+	if decided.Len() != 1 {
+		t.Fatalf("epoch %d: agreement violated: %v", epoch, decided)
+	}
+	if v, _ := decided.Max(); !core.ProposalSet(props).Contains(v) {
+		t.Fatalf("epoch %d: validity violated: %v", epoch, v)
+	}
+}
+
+// TestMuxManyEpochsOneConnection is the multiplexing pin: several
+// consensus instances run concurrently over ONE hub and ONE resumable
+// session (one TCP connection) per node, each instance on its own
+// epoch, and every instance still satisfies agreement and validity. The
+// session count proves the sharing: it stays at n no matter how many
+// instances ran.
+func TestMuxManyEpochsOneConnection(t *testing.T) {
+	hub, err := NewHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	const n, instances = 3, 4
+	nodes := dialMuxCluster(t, hub, n)
+
+	var wg sync.WaitGroup
+	for e := uint64(1); e <= instances; e++ {
+		e := e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runMuxInstance(t, nodes, e, 4*time.Millisecond)
+		}()
+	}
+	wg.Wait()
+
+	if got := hub.Stats().Sessions; got != n {
+		t.Fatalf("hub saw %d sessions for %d instances on %d nodes, want %d (one per node)", got, instances, n, n)
+	}
+	for i, m := range nodes {
+		if s := m.Stats(); s.Reconnects != 0 {
+			t.Fatalf("node %d reconnected %d times on a healthy link", i, s.Reconnects)
+		}
+	}
+}
+
+// TestMuxSequentialEpochsReuseSession pins that a node runs instance
+// after instance on the same attachment, with retirement keeping the
+// hub log from accumulating dead traffic.
+func TestMuxSequentialEpochsReuseSession(t *testing.T) {
+	hub, err := NewHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	nodes := dialMuxCluster(t, hub, 3)
+	for e := uint64(1); e <= 3; e++ {
+		runMuxInstance(t, nodes, e, 4*time.Millisecond)
+		hub.RetireEpoch(e)
+	}
+	hs := hub.Stats()
+	if hs.Sessions != 3 {
+		t.Fatalf("hub saw %d sessions, want 3", hs.Sessions)
+	}
+	if hs.EpochsRetired != 3 {
+		t.Fatalf("EpochsRetired = %d, want 3", hs.EpochsRetired)
+	}
+	if hs.RetiredFrames == 0 {
+		t.Fatal("retiring three finished epochs compacted no frames")
+	}
+}
+
+// epochFrame builds one self-contained epoch-tagged data frame.
+func epochFrame(t *testing.T, epoch uint64, round int) []byte {
+	t.Helper()
+	p := core.SetPayload{Proposed: values.NewSet(values.Num(int64(round)))}
+	var h values.Hasher
+	h.WriteFingerprint(p.PayloadFingerprint())
+	data, err := wire.EncodeDeltaEnvelopeEpoch(giraf.Envelope{
+		Round:          round,
+		Payloads:       []giraf.Payload{p},
+		SetFingerprint: h.Sum(),
+	}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRetireEpochScopesReplay pins the replay contract: a session
+// established after RetireEpoch(k) replays every live epoch's frames
+// but none of epoch k's, and a straggler broadcast tagged k is
+// suppressed rather than logged.
+func TestRetireEpochScopesReplay(t *testing.T) {
+	hub, err := NewHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	// A writer node feeds the hub two interleaved epoch streams.
+	writer, err := DialMux(context.Background(), MuxConfig{HubAddr: hub.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	for round := 1; round <= 3; round++ {
+		for _, epoch := range []uint64{1, 2} {
+			writer.writeMu.Lock()
+			werr := wire.WriteFrame(writer.conn, epochFrame(t, epoch, round))
+			writer.writeMu.Unlock()
+			if werr != nil {
+				t.Fatal(werr)
+			}
+		}
+	}
+	// Wait for the hub to log all six frames before retiring.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Stats().EpochsRetired == 0 {
+		hub.mu.Lock()
+		logged := len(hub.log)
+		hub.mu.Unlock()
+		if logged >= 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hub logged %d frames, want 6", logged)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	hub.RetireEpoch(1)
+	hs := hub.Stats()
+	if hs.EpochsRetired != 1 || hs.RetiredFrames != 3 {
+		t.Fatalf("after retiring epoch 1: EpochsRetired=%d RetiredFrames=%d, want 1 and 3", hs.EpochsRetired, hs.RetiredFrames)
+	}
+
+	// A straggler broadcast for the retired epoch must be suppressed.
+	writer.writeMu.Lock()
+	werr := wire.WriteFrame(writer.conn, epochFrame(t, 1, 4))
+	writer.writeMu.Unlock()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+
+	// A late joiner registered only for epoch 2 must see exactly epoch
+	// 2's three frames — retired traffic is gone from the replay.
+	late, err := DialMux(context.Background(), MuxConfig{HubAddr: hub.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if err := late.Register(2); err != nil {
+		t.Fatal(err)
+	}
+	late.mu.Lock()
+	inbox := late.epochs[2].inbox
+	late.mu.Unlock()
+	for round := 1; round <= 3; round++ {
+		select {
+		case env := <-inbox:
+			if env.Round != round {
+				t.Fatalf("late joiner got round %d, want %d", env.Round, round)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("late joiner missing epoch-2 round %d from replay", round)
+		}
+	}
+	select {
+	case env := <-inbox:
+		t.Fatalf("late joiner received unexpected extra frame (round %d)", env.Round)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if s := late.Stats(); s.UnknownEpochFrames != 0 {
+		// Epoch-1 frames were retired before the late joiner's session
+		// was seeded, so none should have reached it at all.
+		t.Fatalf("late joiner demuxed %d unknown-epoch frames, want 0", s.UnknownEpochFrames)
+	}
+	if got := hub.Stats().RetiredFrames; got != 4 {
+		t.Fatalf("RetiredFrames = %d after straggler, want 4 (3 compacted + 1 suppressed)", got)
+	}
+}
+
+// TestMuxReconnectResumesAllEpochs pins recovery of the shared session:
+// severing the one TCP connection mid-flight forces a reconnect, and
+// both in-flight instances still decide (their delta streams restart
+// from full payloads, their inboxes resume from the session replay).
+func TestMuxReconnectResumesAllEpochs(t *testing.T) {
+	hub, err := NewHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	const n = 3
+	nodes := make([]*MuxNode, n)
+	for i := range nodes {
+		m, err := DialMux(context.Background(), MuxConfig{
+			HubAddr:   hub.Addr(),
+			Reconnect: ReconnectPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond, Seed: int64(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = m
+		t.Cleanup(func() { _ = m.Close() })
+	}
+
+	// Sever node 0's connection shortly into the run (inside the join
+	// grace, so the instances cannot have decided yet).
+	go func() {
+		time.Sleep(8 * time.Millisecond)
+		nodes[0].writeMu.Lock()
+		if c := nodes[0].conn; c != nil {
+			_ = c.Close()
+		}
+		nodes[0].writeMu.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	for e := uint64(1); e <= 2; e++ {
+		e := e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runMuxInstance(t, nodes, e, 4*time.Millisecond)
+		}()
+	}
+	wg.Wait()
+
+	if s := nodes[0].Stats(); s.Reconnects == 0 {
+		t.Fatal("severed node never reconnected")
+	}
+	if hs := hub.Stats(); hs.Reconnects == 0 {
+		t.Fatal("hub recorded no session resumption")
+	}
+}

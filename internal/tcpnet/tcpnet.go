@@ -74,6 +74,11 @@ type HubStats struct {
 	// outbound queue past the high-water mark for longer than the grace
 	// window.
 	OverwhelmedDrops int
+	// EpochsRetired counts RetireEpoch calls; RetiredFrames counts frames
+	// removed from the hub replay log by retirement plus late broadcasts
+	// suppressed because their epoch was already retired.
+	EpochsRetired int
+	RetiredFrames int
 }
 
 // Hub is the reliable anonymous broadcast relay: every frame received on
@@ -97,9 +102,14 @@ type Hub struct {
 	byToken  map[uint64]*session
 	pending  map[net.Conn]struct{} // accepted, still in the handshake window
 	log      [][]byte
-	closed   bool
-	serial   int
-	next     int // accept-order counter (delay/fault indexing)
+	// logEpochs runs parallel to log: each entry is the frame's instance
+	// epoch (0 for legacy unmultiplexed frames), so RetireEpoch can
+	// compact the replay log per epoch without decoding frames.
+	logEpochs []uint64
+	retired   map[uint64]bool
+	closed    bool
+	serial    int
+	next      int // accept-order counter (delay/fault indexing)
 
 	tokenSeq  uint64
 	bootNonce uint64
@@ -217,6 +227,7 @@ func NewHub(addr string, opts ...HubOption) (*Hub, error) {
 		sessions: make(map[*session]struct{}),
 		byToken:  make(map[uint64]*session),
 		pending:  make(map[net.Conn]struct{}),
+		retired:  make(map[uint64]bool),
 		stop:     make(chan struct{}),
 		// The boot nonce keeps tokens from colliding across hub restarts
 		// on the same address: a node resuming into a restarted hub must
@@ -248,6 +259,49 @@ func (h *Hub) Stats() HubStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.stats
+}
+
+// RetireEpoch declares a multiplexed instance epoch finished: its frames
+// are compacted out of the hub replay log — so fresh sessions and late
+// joiners replay only live epochs — and any straggler broadcast tagged
+// with it is suppressed instead of logged. Retirement is what keeps a
+// long-lived multiplexing hub's log proportional to the *in-flight*
+// instances rather than to everything it ever carried.
+//
+// Epoch 0 (the legacy unmultiplexed plane) cannot be retired; calls for
+// it are no-ops. Already-established sessions keep their private sent
+// logs untouched: those are cursor-indexed (the node's replay cursor
+// counts delivered frames), so compacting them would desynchronize
+// resumption. Their retired entries have already been delivered or will
+// drain cheaply; only the hub-level log, which seeds every future
+// session, is compacted.
+func (h *Hub) RetireEpoch(epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.retired[epoch] {
+		return
+	}
+	h.retired[epoch] = true
+	h.stats.EpochsRetired++
+	kept := h.log[:0]
+	keptEpochs := h.logEpochs[:0]
+	for i, frame := range h.log {
+		if h.logEpochs[i] == epoch {
+			h.stats.RetiredFrames++
+			continue
+		}
+		kept = append(kept, frame)
+		keptEpochs = append(keptEpochs, h.logEpochs[i])
+	}
+	// Zero the tail so retired frames are collectable.
+	for i := len(kept); i < len(h.log); i++ {
+		h.log[i] = nil
+	}
+	h.log = kept
+	h.logEpochs = keptEpochs
 }
 
 // attached reports how many sessions currently have a live connection.
@@ -474,8 +528,17 @@ func (h *Hub) broadcast(from *session, frame []byte) {
 		conn net.Conn
 	}
 	var overwhelmed []victim
+	epoch, _ := wire.DataFrameEpoch(frame) // non-delta frames count as epoch 0
 	h.mu.Lock()
+	if h.retired[epoch] {
+		// A straggler from a finished instance: suppress it entirely —
+		// logging it would replay dead traffic to every future session.
+		h.stats.RetiredFrames++
+		h.mu.Unlock()
+		return
+	}
 	h.log = append(h.log, frame)
+	h.logEpochs = append(h.logEpochs, epoch)
 	h.serial++
 	serial := h.serial
 	for s := range h.sessions {
@@ -744,27 +807,27 @@ type nodeSession struct {
 	acks   chan uint64
 }
 
-// dial establishes one connection: DialContext with a deadline, then the
-// Hello/Welcome handshake. On success the session token and cursor are
-// synchronized with the hub.
-func (s *nodeSession) dial(ctx context.Context) (net.Conn, *wire.Welcome, error) {
-	dialTimeout := s.cfg.DialTimeout
+// dialHub establishes one hub connection: DialContext with a deadline,
+// then the Hello/Welcome handshake with the given session token and
+// replay cursor (0, 0 for a fresh session). Shared by RunNode's
+// per-instance sessions and MuxNode's persistent ones.
+func dialHub(ctx context.Context, addr string, dialTimeout time.Duration, token, cursor uint64) (net.Conn, wire.Welcome, error) {
 	if dialTimeout <= 0 {
 		dialTimeout = 5 * time.Second
 	}
 	dctx, cancel := context.WithTimeout(ctx, dialTimeout)
 	defer cancel()
 	var d net.Dialer
-	conn, err := d.DialContext(dctx, "tcp", s.cfg.HubAddr)
+	conn, err := d.DialContext(dctx, "tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, wire.Welcome{}, err
 	}
 	if err := wire.WriteFrame(conn, wire.EncodeHello(wire.Hello{
-		Token:  s.token,
-		Cursor: s.cursor.Load(),
+		Token:  token,
+		Cursor: cursor,
 	})); err != nil {
 		_ = conn.Close()
-		return nil, nil, err
+		return nil, wire.Welcome{}, err
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(dialTimeout))
 	var welcome wire.Welcome
@@ -772,12 +835,12 @@ func (s *nodeSession) dial(ctx context.Context) (net.Conn, *wire.Welcome, error)
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
 			_ = conn.Close()
-			return nil, nil, fmt.Errorf("awaiting welcome: %w", err)
+			return nil, wire.Welcome{}, fmt.Errorf("awaiting welcome: %w", err)
 		}
 		kind, ok := wire.ControlKind(frame)
 		if !ok {
 			_ = conn.Close()
-			return nil, nil, fmt.Errorf("awaiting welcome: got a data frame")
+			return nil, wire.Welcome{}, fmt.Errorf("awaiting welcome: got a data frame")
 		}
 		if kind != wire.ControlWelcome {
 			continue // e.g. a heartbeat that raced the handshake
@@ -785,11 +848,21 @@ func (s *nodeSession) dial(ctx context.Context) (net.Conn, *wire.Welcome, error)
 		welcome, err = wire.DecodeWelcome(frame)
 		if err != nil {
 			_ = conn.Close()
-			return nil, nil, fmt.Errorf("awaiting welcome: %w", err)
+			return nil, wire.Welcome{}, fmt.Errorf("awaiting welcome: %w", err)
 		}
 		break
 	}
 	_ = conn.SetReadDeadline(time.Time{})
+	return conn, welcome, nil
+}
+
+// dial establishes one connection via dialHub. On success the session
+// token and cursor are synchronized with the hub.
+func (s *nodeSession) dial(ctx context.Context) (net.Conn, *wire.Welcome, error) {
+	conn, welcome, err := dialHub(ctx, s.cfg.HubAddr, s.cfg.DialTimeout, s.token, s.cursor.Load())
+	if err != nil {
+		return nil, nil, err
+	}
 	s.token = welcome.Token
 	// The hub's resume position is authoritative: it is the node's cursor
 	// for a clean resumption and 0 when the session is fresh (including

@@ -19,6 +19,21 @@ import (
 // than misparse.
 const deltaMagic byte = 0xD5
 
+// epochMagic tags an epoch-tagged delta envelope body: the frame form of
+// the multiplexed planes, where many in-flight instances share one hub
+// connection and each frame names its instance epoch. Layout: 0xD6, a
+// uvarint epoch (≥ 1), then exactly the 0xD5 body fields.
+// Epoch 0 is never encoded in this form — it IS the legacy 0xD5 frame —
+// so the two encodings biject and every decoder distinguishes them by
+// the leading byte. The control plane keeps its own magic (0xC7) and is
+// untouched.
+const epochMagic byte = 0xD6
+
+// MaxEpoch bounds instance epochs on the wire, for the same reason
+// MaxRound bounds rounds: a corrupt varint must not smuggle absurd
+// values past the decoder.
+const MaxEpoch uint64 = 1 << 40
+
 // ErrBadFrame wraps all content-level decode failures (corrupt body,
 // unknown tag, unresolvable delta reference), as opposed to transport I/O
 // errors. Readers skip bad frames — crash-fault model: a peer producing
@@ -51,19 +66,47 @@ func readFingerprint(r *bytes.Reader) (values.Fingerprint, error) {
 func EncodeDeltaEnvelope(env giraf.Envelope) ([]byte, error) {
 	var w bytes.Buffer
 	w.WriteByte(deltaMagic)
-	writeUvarint(&w, uint64(env.Round))
-	writeFingerprint(&w, env.SetFingerprint)
-	writeUvarint(&w, uint64(len(env.Refs)))
-	for _, fp := range env.Refs {
-		writeFingerprint(&w, fp)
-	}
-	writeUvarint(&w, uint64(len(env.Payloads)))
-	for _, p := range env.Payloads {
-		if err := encodePayload(&w, p); err != nil {
-			return nil, err
-		}
+	if err := encodeDeltaBody(&w, env); err != nil {
+		return nil, err
 	}
 	return w.Bytes(), nil
+}
+
+// EncodeDeltaEnvelopeEpoch serializes a delta-form envelope tagged with
+// an instance epoch. Epoch 0 produces the legacy 0xD5 frame (the two
+// forms biject; see epochMagic); epoch ≥ 1 produces a 0xD6 frame.
+func EncodeDeltaEnvelopeEpoch(env giraf.Envelope, epoch uint64) ([]byte, error) {
+	if epoch == 0 {
+		return EncodeDeltaEnvelope(env)
+	}
+	if epoch > MaxEpoch {
+		return nil, fmt.Errorf("wire: epoch %d exceeds limit %d", epoch, MaxEpoch)
+	}
+	var w bytes.Buffer
+	w.WriteByte(epochMagic)
+	writeUvarint(&w, epoch)
+	if err := encodeDeltaBody(&w, env); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// encodeDeltaBody writes the fields shared by the 0xD5 and 0xD6 frames:
+// round, set fingerprint, references, new payloads.
+func encodeDeltaBody(w *bytes.Buffer, env giraf.Envelope) error {
+	writeUvarint(w, uint64(env.Round))
+	writeFingerprint(w, env.SetFingerprint)
+	writeUvarint(w, uint64(len(env.Refs)))
+	for _, fp := range env.Refs {
+		writeFingerprint(w, fp)
+	}
+	writeUvarint(w, uint64(len(env.Payloads)))
+	for _, p := range env.Payloads {
+		if err := encodePayload(w, p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DecodeDeltaEnvelope parses a frame produced by EncodeDeltaEnvelope. The
@@ -74,6 +117,76 @@ func DecodeDeltaEnvelope(data []byte) (giraf.Envelope, error) {
 	if err != nil || magic != deltaMagic {
 		return giraf.Envelope{}, fmt.Errorf("%w: not a delta envelope (leading byte %#x)", ErrBadFrame, magic)
 	}
+	return decodeDeltaBody(r)
+}
+
+// DecodeDeltaEnvelopeEpoch parses either delta frame form and returns
+// the envelope alongside its instance epoch: 0 for a legacy 0xD5 frame,
+// the tagged epoch (≥ 1) for a 0xD6 frame.
+func DecodeDeltaEnvelopeEpoch(data []byte) (giraf.Envelope, uint64, error) {
+	r := bytes.NewReader(data)
+	magic, err := r.ReadByte()
+	if err != nil {
+		return giraf.Envelope{}, 0, fmt.Errorf("%w: empty frame", ErrBadFrame)
+	}
+	switch magic {
+	case deltaMagic:
+		env, err := decodeDeltaBody(r)
+		return env, 0, err
+	case epochMagic:
+		epoch, err := readEpoch(r)
+		if err != nil {
+			return giraf.Envelope{}, 0, err
+		}
+		env, err := decodeDeltaBody(r)
+		return env, epoch, err
+	default:
+		return giraf.Envelope{}, 0, fmt.Errorf("%w: not a delta envelope (leading byte %#x)", ErrBadFrame, magic)
+	}
+}
+
+// DataFrameEpoch peeks a frame's instance epoch without decoding its
+// body: 0 for a legacy 0xD5 frame, the tag for a 0xD6 frame. ok is false
+// when the frame is neither delta form (control frames, v1 stateless
+// envelopes) or the epoch tag itself is malformed. Hubs use this to
+// epoch-scope their replay log without paying for a full decode.
+func DataFrameEpoch(frame []byte) (epoch uint64, ok bool) {
+	if len(frame) == 0 {
+		return 0, false
+	}
+	switch frame[0] {
+	case deltaMagic:
+		return 0, true
+	case epochMagic:
+		ep, err := readEpoch(bytes.NewReader(frame[1:]))
+		if err != nil {
+			return 0, false
+		}
+		return ep, true
+	default:
+		return 0, false
+	}
+}
+
+// readEpoch reads and bounds a 0xD6 frame's epoch tag. Epoch 0 is
+// rejected: the canonical encoding for epoch 0 is the 0xD5 frame.
+func readEpoch(r *bytes.Reader) (uint64, error) {
+	epoch, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: truncated epoch: %v", ErrBadFrame, err)
+	}
+	if epoch == 0 {
+		return 0, fmt.Errorf("%w: epoch 0 must use the legacy frame form", ErrBadFrame)
+	}
+	if epoch > MaxEpoch {
+		return 0, fmt.Errorf("%w: epoch %d exceeds limit %d", ErrBadFrame, epoch, MaxEpoch)
+	}
+	return epoch, nil
+}
+
+// decodeDeltaBody parses the fields shared by the 0xD5 and 0xD6 frames,
+// with the reader positioned just past the magic (and epoch, if any).
+func decodeDeltaBody(r *bytes.Reader) (giraf.Envelope, error) {
 	round, err := readRound(r)
 	if err != nil {
 		return giraf.Envelope{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
@@ -119,6 +232,7 @@ func DecodeDeltaEnvelope(data []byte) (giraf.Envelope, error) {
 type EnvelopeWriter struct {
 	w       io.Writer
 	tracker *giraf.DeltaTracker
+	epoch   uint64
 
 	// FramesOut / BytesOut / PayloadsElided expose cheap counters so
 	// transports can report how much the delta plane saves.
@@ -127,16 +241,25 @@ type EnvelopeWriter struct {
 	PayloadsElided int
 }
 
-// NewEnvelopeWriter returns a writer with empty delta state.
+// NewEnvelopeWriter returns a writer with empty delta state, emitting
+// legacy (epoch-0) 0xD5 frames.
 func NewEnvelopeWriter(w io.Writer) *EnvelopeWriter {
 	return &EnvelopeWriter{w: w, tracker: giraf.NewDeltaTracker()}
+}
+
+// NewEnvelopeWriterEpoch returns a writer whose frames carry the given
+// instance epoch (0 behaves exactly like NewEnvelopeWriter). Each epoch
+// is its own delta stream: the writer's tracker spans only this epoch's
+// frames, matching the per-epoch ResolveTable on the receiving side.
+func NewEnvelopeWriterEpoch(w io.Writer, epoch uint64) *EnvelopeWriter {
+	return &EnvelopeWriter{w: w, tracker: giraf.NewDeltaTracker(), epoch: epoch}
 }
 
 // WriteEnvelope shrinks env against the stream history and writes one
 // frame.
 func (ew *EnvelopeWriter) WriteEnvelope(env giraf.Envelope) error {
 	delta := ew.tracker.Shrink(env)
-	data, err := EncodeDeltaEnvelope(delta)
+	data, err := EncodeDeltaEnvelopeEpoch(delta, ew.epoch)
 	if err != nil {
 		return err
 	}

@@ -155,3 +155,131 @@ func TestDeltaRejectsStatelessFrames(t *testing.T) {
 		t.Error("stateless decoder accepted a delta body")
 	}
 }
+
+// TestEpochEnvelopeRoundTrip pins the 0xD6 frame form: epoch-tagged
+// frames round-trip envelope and epoch, and epoch 0 collapses to the
+// legacy 0xD5 encoding byte-for-byte (the two forms biject).
+func TestEpochEnvelopeRoundTrip(t *testing.T) {
+	env := fullEnvelope(3, values.NewSet(values.Num(1), values.Num(2)))
+	for _, epoch := range []uint64{1, 2, 7, 1 << 20, MaxEpoch} {
+		data, err := EncodeDeltaEnvelopeEpoch(env, epoch)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		got, gotEpoch, err := DecodeDeltaEnvelopeEpoch(data)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if gotEpoch != epoch {
+			t.Fatalf("epoch %d came back as %d", epoch, gotEpoch)
+		}
+		if got.Round != env.Round || got.SetFingerprint != env.SetFingerprint {
+			t.Fatalf("epoch %d: envelope mangled in transit", epoch)
+		}
+		if peeked, ok := DataFrameEpoch(data); !ok || peeked != epoch {
+			t.Fatalf("DataFrameEpoch = (%d, %v), want (%d, true)", peeked, ok, epoch)
+		}
+		// The tagged form must be rejected by the legacy decoder: an
+		// unmultiplexed reader never silently misparses mux traffic.
+		if _, err := DecodeDeltaEnvelope(data); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("legacy decoder accepted a 0xD6 frame: %v", err)
+		}
+	}
+
+	legacy, err := EncodeDeltaEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEpoch0, err := EncodeDeltaEnvelopeEpoch(env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy, viaEpoch0) {
+		t.Fatal("epoch 0 must encode as the legacy 0xD5 frame")
+	}
+	if _, gotEpoch, err := DecodeDeltaEnvelopeEpoch(legacy); err != nil || gotEpoch != 0 {
+		t.Fatalf("legacy frame via epoch decoder = (epoch %d, %v), want (0, nil)", gotEpoch, err)
+	}
+	if peeked, ok := DataFrameEpoch(legacy); !ok || peeked != 0 {
+		t.Fatalf("DataFrameEpoch(legacy) = (%d, %v), want (0, true)", peeked, ok)
+	}
+}
+
+// TestEpochEnvelopeRejects pins the malformed-epoch failure modes.
+func TestEpochEnvelopeRejects(t *testing.T) {
+	env := fullEnvelope(1, values.NewSet(values.Num(1)))
+	if _, err := EncodeDeltaEnvelopeEpoch(env, MaxEpoch+1); err == nil {
+		t.Fatal("encoder accepted an epoch beyond MaxEpoch")
+	}
+	// A hand-built 0xD6 frame carrying epoch 0: the canonical form for
+	// epoch 0 is 0xD5, so this must be rejected, not aliased.
+	legacy, err := EncodeDeltaEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := append([]byte{epochMagic, 0}, legacy[1:]...)
+	if _, _, err := DecodeDeltaEnvelopeEpoch(bogus); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("decoder accepted a 0xD6 frame with epoch 0: %v", err)
+	}
+	if _, ok := DataFrameEpoch(bogus); ok {
+		t.Fatal("DataFrameEpoch accepted a 0xD6 frame with epoch 0")
+	}
+	if _, ok := DataFrameEpoch(nil); ok {
+		t.Fatal("DataFrameEpoch accepted an empty frame")
+	}
+	if _, ok := DataFrameEpoch([]byte{epochMagic}); ok {
+		t.Fatal("DataFrameEpoch accepted a truncated epoch tag")
+	}
+	// Control frames are not data frames.
+	if _, ok := DataFrameEpoch(EncodeHeartbeat(Heartbeat{Seq: 1})); ok {
+		t.Fatal("DataFrameEpoch accepted a control frame")
+	}
+}
+
+// TestEpochWriterStreams pins the per-epoch delta family: two writers on
+// different epochs each maintain their own tracker, and a reader
+// demultiplexing by epoch resolves each stream against its own table.
+func TestEpochWriterStreams(t *testing.T) {
+	s := values.NewSet(values.Num(1), values.Num(2))
+	var stream bytes.Buffer
+	w1 := NewEnvelopeWriterEpoch(&stream, 1)
+	w2 := NewEnvelopeWriterEpoch(&stream, 2)
+	for round := 1; round <= 3; round++ {
+		if err := w1.WriteEnvelope(fullEnvelope(round, s)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.WriteEnvelope(fullEnvelope(round, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each stream elides its payload from round 2 on, independently.
+	if w1.PayloadsElided != 2 || w2.PayloadsElided != 2 {
+		t.Fatalf("PayloadsElided = (%d, %d), want (2, 2)", w1.PayloadsElided, w2.PayloadsElided)
+	}
+	tables := map[uint64]*giraf.ResolveTable{1: giraf.NewResolveTable(), 2: giraf.NewResolveTable()}
+	counts := map[uint64]int{}
+	for {
+		frame, err := ReadFrame(&stream)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta, epoch, err := DecodeDeltaEnvelopeEpoch(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := tables[epoch].Resolve(delta)
+		if err != nil {
+			t.Fatalf("epoch %d round %d: %v", epoch, delta.Round, err)
+		}
+		if len(full.Payloads) != 1 {
+			t.Fatalf("epoch %d round %d: %d payloads, want 1", epoch, full.Round, len(full.Payloads))
+		}
+		counts[epoch]++
+	}
+	if counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("frame counts per epoch = %v, want 3 each", counts)
+	}
+}

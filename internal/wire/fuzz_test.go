@@ -60,10 +60,32 @@ func FuzzDecodeDeltaEnvelope(f *testing.F) {
 	tracker := giraf.NewDeltaTracker()
 	first, _ := EncodeDeltaEnvelope(tracker.Shrink(full))
 	second, _ := EncodeDeltaEnvelope(tracker.Shrink(full)) // all refs now
+	epochTagged, _ := EncodeDeltaEnvelopeEpoch(giraf.Envelope{
+		Round:          3,
+		Payloads:       []giraf.Payload{core.SetPayload{Proposed: values.NewSet(values.Num(9))}},
+		SetFingerprint: values.FingerprintString("F"),
+	}, 42)
 	f.Add(first)
 	f.Add(second)
 	f.Add([]byte{deltaMagic})
+	f.Add(epochTagged)
+	f.Add([]byte{epochMagic, 5})
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The epoch decoder and the cheap epoch peek must never panic, and
+		// must agree on whatever they accept.
+		if env, epoch, err := DecodeDeltaEnvelopeEpoch(data); err == nil {
+			peeked, ok := DataFrameEpoch(data)
+			if !ok || peeked != epoch {
+				t.Fatalf("DataFrameEpoch = (%d, %v), decoder said epoch %d", peeked, ok, epoch)
+			}
+			re, err := EncodeDeltaEnvelopeEpoch(env, epoch)
+			if err != nil {
+				t.Fatalf("re-encoding accepted epoch envelope failed: %v", err)
+			}
+			if _, epoch2, err := DecodeDeltaEnvelopeEpoch(re); err != nil || epoch2 != epoch {
+				t.Fatalf("epoch round-trip failed: epoch %d → %d, err %v", epoch, epoch2, err)
+			}
+		}
 		env, err := DecodeDeltaEnvelope(data)
 		if err != nil {
 			return

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrNodeClosed is returned by Propose/Wait when the Node was closed.
@@ -12,8 +13,9 @@ var ErrNodeClosed = errors.New("anonconsensus: node is closed")
 
 // instance is one queued/running/finished consensus instance.
 type instance struct {
-	spec InstanceSpec
-	ctx  context.Context
+	spec     InstanceSpec
+	ctx      context.Context
+	enqueued time.Time // when Propose put it on the queue (zero if it never got there)
 
 	once sync.Once
 	done chan struct{}
@@ -21,10 +23,11 @@ type instance struct {
 	err  error
 }
 
-// Node is a long-lived consensus session: it runs a sequence of instances
-// over one Transport, one at a time in Propose order, and streams their
-// outcomes on Decisions(). A Node owns its transport and closes it when
-// the Node is closed.
+// Node is a long-lived consensus session: it runs instances over one
+// Transport — by default one at a time in Propose order, or up to k
+// concurrently with WithMaxInFlight(k) — and streams their outcomes on
+// Decisions(). A Node owns its transport and closes it when the Node is
+// closed.
 //
 // Typical use:
 //
@@ -35,25 +38,40 @@ type instance struct {
 //
 // or asynchronously: Propose several instances, consume Decisions(), and
 // Wait for the ones whose Result the caller needs. All methods are safe
-// for concurrent use.
+// for concurrent use. Service deployments typically add WithMaxInFlight
+// and WithAdmission and watch Stats(); see the README's service-mode
+// example.
 type Node struct {
 	transport Transport
 	session   options
 
-	queue chan *instance
-	stop  chan struct{} // closed by Close: cancels running work, stops the worker
+	workers int            // pool size (WithMaxInFlight, default 1)
+	queue   chan *instance // capacity set by WithQueueDepth (default 64)
+	stop    chan struct{}  // closed by Close: cancels running work, stops the workers
+	admit   *tokenBucket   // nil without WithAdmission
+	wait    bool           // WithAdmissionWait: block for tokens instead of rejecting
 
 	mu        sync.Mutex
 	closed    bool
 	instances map[string]*instance
 
+	// Service counters, surfaced by Stats().
+	statMu       sync.Mutex
+	admitted     int64
+	rejected     int64
+	completed    int64
+	inFlight     int
+	peakInFlight int
+	queueWait    time.Duration
+
 	// Event feed: emitters append to evBuf (never blocking consensus
 	// work); the pump goroutine forwards to the events channel.
-	evMu   sync.Mutex
-	evCond *sync.Cond
-	evBuf  []Event
-	evEnd  bool
-	events chan Event
+	evMu      sync.Mutex
+	evCond    *sync.Cond
+	evBuf     []Event
+	evEnd     bool
+	evDropped int64
+	events    chan Event
 
 	workerWG sync.WaitGroup
 	pumpWG   sync.WaitGroup
@@ -81,17 +99,32 @@ func NewNode(transport Transport, opts ...Option) (*Node, error) {
 // newNode starts a session from an already-resolved option set (the
 // compatibility wrappers enter here with a validated legacy Config).
 func newNode(transport Transport, o options) *Node {
+	workers := o.maxInFlight
+	if workers < 1 {
+		workers = 1
+	}
+	depth := o.queueDepth
+	if depth < 1 {
+		depth = 64
+	}
 	n := &Node{
 		transport: transport,
 		session:   o,
-		queue:     make(chan *instance, 64),
+		workers:   workers,
+		queue:     make(chan *instance, depth),
 		stop:      make(chan struct{}),
 		instances: make(map[string]*instance),
 		events:    make(chan Event, 128),
 	}
+	if o.admitRate > 0 {
+		n.admit = newTokenBucket(o.admitRate, o.admitBurst)
+		n.wait = o.admitWait
+	}
 	n.evCond = sync.NewCond(&n.evMu)
-	n.workerWG.Add(1)
-	go n.worker()
+	n.workerWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go n.worker()
+	}
 	n.pumpWG.Add(1)
 	go n.pump()
 	return n
@@ -106,10 +139,15 @@ func (n *Node) Transport() Transport { return n.transport }
 // and opts override the session options for this instance only.
 //
 // Propose returns once the instance is accepted; the run happens on the
-// node's worker, in Propose order. ctx governs both the enqueue and the
-// instance's whole run — cancelling it aborts the instance, and Wait then
-// returns an error wrapping ctx.Err(). Outcomes stream on Decisions() and
-// are available from Wait.
+// node's worker pool, dequeued in Propose order. ctx governs the
+// admission wait, the enqueue, and the instance's whole run — cancelling
+// it aborts the instance, and Wait then returns an error wrapping
+// ctx.Err(). Outcomes stream on Decisions() and are available from Wait.
+//
+// Under WithAdmission, Propose first spends a token: in fast-reject mode
+// an empty bucket — or, later, a full instance queue — returns an error
+// wrapping ErrOverloaded without registering anything; with
+// WithAdmissionWait it blocks for the token instead.
 func (n *Node) Propose(ctx context.Context, instanceID string, proposals []Value, opts ...Option) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -120,6 +158,23 @@ func (n *Node) Propose(ctx context.Context, instanceID string, proposals []Value
 	spec, err := n.buildSpec(instanceID, proposals, opts)
 	if err != nil {
 		return err
+	}
+	// Admission runs before registration so a shed proposal leaves no
+	// trace: no instance, no events, and the ID stays free.
+	if n.admit != nil {
+		if n.wait {
+			if err := n.admit.take(ctx, n.stop); err != nil {
+				if err == ErrNodeClosed {
+					return ErrNodeClosed
+				}
+				return fmt.Errorf("anonconsensus: instance %q: %w", instanceID, err)
+			}
+		} else if !n.admit.tryTake() {
+			n.statMu.Lock()
+			n.rejected++
+			n.statMu.Unlock()
+			return fmt.Errorf("anonconsensus: instance %q: %w", instanceID, ErrOverloaded)
+		}
 	}
 	inst := &instance{spec: spec, ctx: ctx, done: make(chan struct{})}
 
@@ -135,18 +190,36 @@ func (n *Node) Propose(ctx context.Context, instanceID string, proposals []Value
 	n.instances[instanceID] = inst
 	n.mu.Unlock()
 
-	select {
-	case n.queue <- inst:
-	case <-ctx.Done():
-		err := fmt.Errorf("anonconsensus: instance %q: %w", instanceID, ctx.Err())
-		n.finish(inst, nil, err)
-		n.unregister(instanceID, inst)
-		return err
-	case <-n.stop:
-		n.finish(inst, nil, ErrNodeClosed)
-		n.unregister(instanceID, inst)
-		return ErrNodeClosed
+	inst.enqueued = time.Now()
+	if n.admit != nil && !n.wait {
+		// Fast-reject admission extends to the queue: a full backlog is
+		// overload, not a reason to block the caller.
+		select {
+		case n.queue <- inst:
+		default:
+			n.unregister(instanceID, inst)
+			n.statMu.Lock()
+			n.rejected++
+			n.statMu.Unlock()
+			return fmt.Errorf("anonconsensus: instance %q: %w", instanceID, ErrOverloaded)
+		}
+	} else {
+		select {
+		case n.queue <- inst:
+		case <-ctx.Done():
+			err := fmt.Errorf("anonconsensus: instance %q: %w", instanceID, ctx.Err())
+			n.finish(inst, nil, err)
+			n.unregister(instanceID, inst)
+			return err
+		case <-n.stop:
+			n.finish(inst, nil, ErrNodeClosed)
+			n.unregister(instanceID, inst)
+			return ErrNodeClosed
+		}
 	}
+	n.statMu.Lock()
+	n.admitted++
+	n.statMu.Unlock()
 	// The node may have closed between the closed-check and the enqueue;
 	// if so the worker is gone and Close's drain may already have missed
 	// this instance — fail it here (finish is idempotent, so if the
@@ -250,14 +323,17 @@ func (n *Node) Forget(instanceID string) bool {
 
 // Decisions returns the session's event feed: an EventInstanceStarted,
 // zero or more EventDecision (one per process that decided) and an
-// EventInstanceDone per instance, in execution order. Events are emitted
-// when the instance's run completes — the granularity is per instance,
-// not mid-run. The feed is
-// best-effort buffered and never blocks consensus work: without a
-// consumer the oldest undelivered events are dropped beyond a bounded
-// backlog, and Close terminates the feed (undelivered events are then
-// dropped). Callers that need an instance's authoritative outcome should
-// use Wait.
+// EventInstanceDone per instance. Events are emitted when the instance's
+// run completes — the granularity is per instance, not mid-run. One
+// instance's events always appear in that order; with WithMaxInFlight > 1
+// the events of different in-flight instances interleave.
+//
+// The feed is lossy by contract: it is best-effort buffered and never
+// blocks consensus work. Without a consumer the oldest undelivered
+// events are dropped beyond a bounded backlog — each drop is counted in
+// Stats().EventsDropped — and Close terminates the feed (undelivered
+// events are then dropped). Callers that need an instance's
+// authoritative outcome should use Wait, which never loses one.
 func (n *Node) Decisions() <-chan Event { return n.events }
 
 // Close shuts the session down: running work is cancelled, queued
@@ -274,7 +350,7 @@ func (n *Node) Close() error {
 
 	close(n.stop)
 	n.workerWG.Wait()
-	// The worker is gone: fail whatever is still queued.
+	// The workers are gone: fail whatever is still queued.
 	for {
 		select {
 		case inst := <-n.queue:
@@ -324,10 +400,12 @@ func (o *options) spec(id string, proposals []Value) (InstanceSpec, error) {
 	return spec, nil
 }
 
-// worker runs queued instances one at a time, in Propose order. The stop
-// check is prioritized: once Close fired, queued work must not be started
-// (Go's select picks randomly among ready cases, so a single select would
-// sometimes run one more instance).
+// worker is one pool goroutine: it runs queued instances one at a time.
+// The node starts WithMaxInFlight of these, so up to that many instances
+// are in flight at once (one, and strictly in Propose order, by
+// default). The stop check is prioritized: once Close fired, queued work
+// must not be started (Go's select picks randomly among ready cases, so
+// a single select would sometimes run one more instance).
 func (n *Node) worker() {
 	defer n.workerWG.Done()
 	for {
@@ -348,6 +426,21 @@ func (n *Node) worker() {
 // runInstance executes one instance on the transport, under a context that
 // dies with either the caller's ctx or the node itself.
 func (n *Node) runInstance(inst *instance) {
+	n.statMu.Lock()
+	n.inFlight++
+	if n.inFlight > n.peakInFlight {
+		n.peakInFlight = n.inFlight
+	}
+	if !inst.enqueued.IsZero() {
+		n.queueWait += time.Since(inst.enqueued)
+	}
+	n.statMu.Unlock()
+	defer func() {
+		n.statMu.Lock()
+		n.inFlight--
+		n.completed++
+		n.statMu.Unlock()
+	}()
 	select {
 	case <-n.stop:
 		// Close won the race for this queued instance: fail it with the
@@ -400,12 +493,15 @@ func (n *Node) finish(inst *instance, res *Result, err error) {
 const maxBufferedEvents = 1024
 
 // emit appends to the event buffer; it never blocks, and it never lets an
-// absent consumer grow the buffer without bound.
+// absent consumer grow the buffer without bound. Every event the overflow
+// policy discards is counted (Stats().EventsDropped), so an operator can
+// tell a quiet feed from a lossy one.
 func (n *Node) emit(ev Event) {
 	n.evMu.Lock()
 	if !n.evEnd {
 		if len(n.evBuf) >= maxBufferedEvents {
 			n.evBuf = n.evBuf[1:]
+			n.evDropped++
 		}
 		n.evBuf = append(n.evBuf, ev)
 		n.evCond.Signal()

@@ -20,6 +20,11 @@ type options struct {
 	maxRounds    int
 	parallelism  int
 	reconnect    ReconnectPolicy
+	maxInFlight  int
+	queueDepth   int
+	admitRate    float64
+	admitBurst   int
+	admitWait    bool
 }
 
 // Option configures a Node session (NewNode) or one instance
@@ -283,12 +288,88 @@ func WithMaxRounds(rounds int) Option {
 	}
 }
 
+// WithMaxInFlight sets how many instances a Node session runs
+// concurrently; the default is 1, which preserves the historical
+// strictly-sequential semantics. With k > 1 the node keeps up to k
+// instances in flight on a worker pool while Propose/Wait/Forget/
+// Decisions() keep their contracts: each instance still runs under its
+// own seed and spec (per-instance determinism is untouched), and the
+// Decisions() feed stays ordered per instance — an instance's Started,
+// Decision and Done events are emitted in order by the one worker that
+// runs it, though events of different in-flight instances interleave.
+//
+// Instances are dequeued in Propose order but, with k > 1, no longer
+// finish in it. It is session-level: pass it to NewNode; per-Propose use
+// has no effect on the already-sized pool.
+func WithMaxInFlight(k int) Option {
+	return func(o *options) error {
+		if k < 1 {
+			return fmt.Errorf("anonconsensus: max in-flight %d (must be ≥ 1)", k)
+		}
+		o.maxInFlight = k
+		return nil
+	}
+}
+
+// WithQueueDepth sets the capacity of a Node session's instance queue
+// (the backlog between Propose and the worker pool); the default is 64.
+// Without admission control a full queue blocks Propose until a worker
+// drains it; under fast-reject admission (WithAdmission) a full queue
+// returns ErrOverloaded instead. Session-level, like WithMaxInFlight.
+func WithQueueDepth(depth int) Option {
+	return func(o *options) error {
+		if depth < 1 {
+			return fmt.Errorf("anonconsensus: queue depth %d (must be ≥ 1)", depth)
+		}
+		o.queueDepth = depth
+		return nil
+	}
+}
+
+// WithAdmission puts a token-bucket admission controller in front of the
+// Node's instance queue: Propose spends one token per instance, the
+// bucket refills at rate tokens/second up to burst. When the bucket is
+// empty — or the instance queue is full — Propose fast-rejects with an
+// error wrapping ErrOverloaded, so an overloaded service sheds load
+// instead of queueing without bound. Rejected proposals leave no trace:
+// no events, no registered instance, and the ID stays free.
+//
+// Combine with WithAdmissionWait to block (context-aware) for a token
+// instead of rejecting. The default is no admission control: Propose
+// blocks on a full queue and never returns ErrOverloaded. Session-level,
+// like WithMaxInFlight.
+func WithAdmission(rate float64, burst int) Option {
+	return func(o *options) error {
+		if rate <= 0 {
+			return fmt.Errorf("anonconsensus: non-positive admission rate %v", rate)
+		}
+		if burst < 1 {
+			return fmt.Errorf("anonconsensus: admission burst %d (must be ≥ 1)", burst)
+		}
+		o.admitRate = rate
+		o.admitBurst = burst
+		return nil
+	}
+}
+
+// WithAdmissionWait switches WithAdmission from fast-reject to blocking:
+// Propose waits for a token (honouring its ctx and node shutdown) rather
+// than returning ErrOverloaded, and then blocks on queue space as in the
+// no-admission mode. Waiters race for tokens; there is no FIFO fairness
+// guarantee. It has no effect without WithAdmission.
+func WithAdmissionWait() Option {
+	return func(o *options) error {
+		o.admitWait = true
+		return nil
+	}
+}
+
 // WithParallelism bounds the worker pool RunBatch fans instances across;
 // 0 (the default) means GOMAXPROCS. Results are byte-identical at any
 // setting — the knob trades wall-clock for cores, never output; the same
 // contract holds for ExploreConfig.Parallelism on the exploration plane.
 // It is batch-level: RunBatch rejects it inside a BatchItem's Opts, and
-// Node sessions, which serialize instances by design, ignore it.
+// Node sessions ignore it (their concurrency knob is WithMaxInFlight).
 func WithParallelism(workers int) Option {
 	return func(o *options) error {
 		if workers < 0 {

@@ -41,6 +41,9 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "decisions/sec"
+	// recorded as "decisions_per_sec"), keyed by their sanitized unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // BenchRun is one labelled invocation of the suite.
@@ -60,7 +63,67 @@ type File struct {
 	Runs  []BenchRun `json:"runs"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// metricKey sanitizes a benchmark unit into a JSON-friendly key:
+// "decisions/sec" → "decisions_per_sec".
+func metricKey(unit string) string {
+	unit = strings.ReplaceAll(unit, "/", "_per_")
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, unit)
+}
+
+// parseBenchLine parses one `go test -bench` result line. Beyond the
+// standard ns/op, B/op and allocs/op columns it accepts any
+// `<value> <unit>` pair — custom b.ReportMetric units land in Metrics —
+// so the order go test prints metrics in (custom units sort among the
+// standard ones) does not matter.
+func parseBenchLine(line string) (BenchResult, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return BenchResult{}, false
+	}
+	name := strings.TrimPrefix(m[1], "Benchmark")
+	// Strip the -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, _ := strconv.Atoi(m[2])
+	res := BenchResult{Name: name, Iterations: iters}
+	sawNs := false
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[metricKey(fields[i+1])] = v
+		}
+	}
+	if !sawNs {
+		return BenchResult{}, false
+	}
+	return res, true
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "-compare" {
@@ -87,25 +150,9 @@ func main() {
 			run.CPU = strings.TrimSpace(cpu)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		res, ok := parseBenchLine(line)
+		if !ok {
 			continue
-		}
-		name := strings.TrimPrefix(m[1], "Benchmark")
-		// Strip the -GOMAXPROCS suffix go test appends.
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		iters, _ := strconv.Atoi(m[2])
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		res := BenchResult{Name: name, Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
 		run.Results = append(run.Results, res)
 	}

@@ -21,6 +21,44 @@ func writeTrajectory(t *testing.T, dir, name string, runs ...BenchRun) string {
 	return path
 }
 
+// TestParseBenchLine pins the result-line parser, including custom
+// b.ReportMetric units, which go test prints interleaved with the
+// standard columns in sorted-unit order.
+func TestParseBenchLine(t *testing.T) {
+	res, ok := parseBenchLine("BenchmarkServiceSimPooled1k-4   \t       2\t 503214021 ns/op\t     1987.4 decisions/sec\t 1234 B/op\t  56 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if res.Name != "ServiceSimPooled1k" || res.Iterations != 2 {
+		t.Fatalf("name/iterations: %+v", res)
+	}
+	if res.NsPerOp != 503214021 || res.BytesPerOp != 1234 || res.AllocsPerOp != 56 {
+		t.Fatalf("standard columns: %+v", res)
+	}
+	if got := res.Metrics["decisions_per_sec"]; got != 1987.4 {
+		t.Fatalf("Metrics[decisions_per_sec] = %v, want 1987.4", got)
+	}
+
+	// Custom metrics may sort BEFORE ns/op ("MB/s" < "ns/op").
+	res, ok = parseBenchLine("BenchmarkCodec-8   100\t 55.5 MB/s\t 1000 ns/op")
+	if !ok || res.NsPerOp != 1000 || res.Metrics["MB_per_s"] != 55.5 {
+		t.Fatalf("metric-before-ns line: ok=%v %+v", ok, res)
+	}
+
+	// Plain lines still parse, with no Metrics map allocated.
+	res, ok = parseBenchLine("BenchmarkT1ESDecision-4   10\t 1380132 ns/op")
+	if !ok || res.NsPerOp != 1380132 || res.Metrics != nil {
+		t.Fatalf("plain line: ok=%v %+v", ok, res)
+	}
+
+	// Non-benchmark output is rejected.
+	for _, line := range []string{"PASS", "ok  \tanonconsensus\t0.5s", "BenchmarkX 10 garbage"} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
 func TestCompareDetectsRegression(t *testing.T) {
 	dir := t.TempDir()
 	old := writeTrajectory(t, dir, "old.json", BenchRun{Label: "base", Results: []BenchResult{

@@ -148,21 +148,24 @@ func (s *InstanceSpec) timeout() time.Duration {
 	return 30 * time.Second
 }
 
-// Transport runs consensus instances over one backend. The three built-in
+// Transport runs consensus instances over one backend. The built-in
 // transports — NewLiveTransport (in-process goroutine network),
-// NewSimTransport (deterministic lockstep simulator) and NewTCPTransport
-// (real TCP through an anonymous broadcast hub) — share this interface, so
-// a Node, a benchmark or a test can swap network realizations without
-// touching driver code.
+// NewSimTransport (deterministic lockstep simulator), NewTCPTransport
+// (real TCP through an anonymous broadcast hub) and NewTCPMuxTransport
+// (real TCP, instances multiplexed as epochs over persistent hub
+// sessions) — share this interface, so a Node, a benchmark or a test can
+// swap network realizations without touching driver code.
 //
 // Implementations must honor ctx: a cancelled context aborts the run
 // promptly and Run returns an error wrapping ctx.Err().
 type Transport interface {
-	// Name identifies the backend ("live", "sim", "tcp").
+	// Name identifies the backend ("live", "sim", "tcp", "tcp-mux").
 	Name() string
 	// Run executes one instance to completion and reports every process's
 	// outcome. Instances are independent: transports must not leak state
-	// (messages, rounds, decisions) between Run calls.
+	// (messages, rounds, decisions) between Run calls. Run must be safe
+	// for concurrent use — a Node's worker pool (WithMaxInFlight) and
+	// RunBatch issue overlapping calls on one transport.
 	Run(ctx context.Context, spec InstanceSpec) (*Result, error)
 	// Close releases backend resources. A closed transport rejects Run.
 	Close() error

@@ -16,10 +16,11 @@ import (
 // Transport interface: every instance gets a fresh anonymous broadcast hub
 // on the loopback interface and one TCP connection per process.
 //
-// A fresh hub per instance is load-bearing, not convenience: the hub
-// replays its whole frame log to every connection and frames carry no
-// instance tag, so reusing a hub would deliver instance k's envelopes into
-// instance k+1.
+// A fresh hub per instance is load-bearing here: this transport's frames
+// carry no instance tag, so reusing a hub would deliver instance k's
+// envelopes into instance k+1. NewTCPMuxTransport is the multiplexed
+// alternative — epoch-tagged frames, one shared hub, persistent
+// connections — for sustained many-instance traffic.
 type tcpTransport struct {
 	listenAddr string
 	closed     atomic.Bool
