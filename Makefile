@@ -24,7 +24,7 @@ BENCH_THRESHOLD ?= 100
 STATICCHECK_MOD ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK_MOD ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: test race build vet lint lint-external bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke chaos-smoke mux-smoke
+.PHONY: test race build vet lint lint-external bench bench-smoke fuzz-smoke scenarios-smoke explore-smoke chaos-smoke mux-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME) ./internal/env
 	$(GO) test -run '^$$' -fuzz '^FuzzTrace$$' -fuzztime $(FUZZTIME) ./internal/explore
+	$(GO) test -run '^$$' -fuzz '^FuzzWorkloadTrace$$' -fuzztime $(FUZZTIME) ./internal/workload
 
 # scenarios-smoke renders the S1 scenario sweep on the shrunken grid: a
 # fast end-to-end pass over the fault plane (loss, duplication, partitions,
@@ -114,6 +115,21 @@ chaos-smoke:
 mux-smoke:
 	$(GO) test -race -count=1 -run 'TestNodeStress|TestNodePool|TestNodeCloseMidFlight|TestSimPoolDeterminism|TestAdmission|TestEventDrop|TestTCPMux|TestServiceThroughputScales' .
 	$(GO) test -race -short -count=1 -run 'TestMux|TestRetireEpoch|TestEpoch' ./internal/tcpnet ./internal/wire
+
+# load-smoke is the open-loop workload plane's quick pass, run by CI on
+# every push: the workload package (generator, virtual queue model, trace
+# codec) and the public RunWorkload/stats-invariant tests under the race
+# detector, then an end-to-end anonload determinism pin — the same flags
+# at -parallel 1 and 4 must record byte-identical traces, and -replay
+# must verify what was just recorded.
+load-smoke:
+	$(GO) test -race -count=1 ./internal/workload
+	$(GO) test -race -count=1 -run 'TestSimulateWorkload|TestRunWorkload|TestWorkloadSpec|TestStatsInvariants|TestEnqueueAbort|TestNeverStarted|TestEventAccounting' .
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+		$(GO) run ./cmd/anonload -seed 7 -ops 300 -rate 400 -admit 350:16 -parallel 1 -trace $$tmp/a.trace > /dev/null; \
+		$(GO) run ./cmd/anonload -seed 7 -ops 300 -rate 400 -admit 350:16 -parallel 4 -trace $$tmp/b.trace > /dev/null; \
+		cmp $$tmp/a.trace $$tmp/b.trace; \
+		$(GO) run ./cmd/anonload -replay $$tmp/a.trace > /dev/null
 
 # explore-smoke is the exploration plane's quick pass, run by CI on every
 # push: the exhaustive n=2 space (X1 quick), 10k randomized PCT-style

@@ -90,11 +90,16 @@ func (b *tokenBucket) take(ctx context.Context, stop <-chan struct{}) error {
 // Queued, which are instantaneous.
 type NodeStats struct {
 	// Admitted counts proposals accepted into the queue; Rejected counts
-	// proposals shed with ErrOverloaded (empty bucket or full queue).
+	// proposals the node turned away after their spec validated — shed
+	// with ErrOverloaded (empty bucket or full queue), or aborted between
+	// admission and a successful enqueue (caller cancellation, node
+	// shutdown). Every Propose that passes validation and registration
+	// lands in exactly one of the two.
 	Admitted, Rejected int64
 	// Completed counts instances a worker finished — decided, failed, or
-	// cancelled. Proposals that failed before reaching a worker are not
-	// completed (nor admitted).
+	// cancelled. Admitted instances that Close's drain failed without a
+	// worker ever picking them up are not completed, so at quiescence
+	// Completed ≤ Admitted.
 	Completed int64
 	// InFlight is the number of instances running right now; Queued the
 	// number waiting in the instance queue; PeakInFlight the maximum
@@ -104,7 +109,9 @@ type NodeStats struct {
 	// and queue capacity.
 	MaxInFlight, QueueDepth int
 	// QueueWait is the total time admitted instances spent queued before
-	// a worker picked them up; divide by Completed for the mean.
+	// a worker picked them up. It accrues at pickup, while Completed is
+	// counted at finish, so the mean wait of picked-up instances is
+	// QueueWait / (Completed + InFlight), not QueueWait / Completed.
 	QueueWait time.Duration
 	// EventsDropped counts Decisions() feed events discarded because the
 	// bounded backlog overflowed with no consumer draining it.

@@ -1,0 +1,240 @@
+// Command anonload drives the open-loop workload plane: it generates
+// seeded traffic (Poisson, Gamma or Weibull arrivals, multi-class mixes)
+// against a consensus backend and prints the SLO report — p50/p95/p99
+// decision latency, throughput, shed rate and per-class fairness.
+//
+// Usage:
+//
+//	anonload -ops 200 -rate 400                     # virtual plane (deterministic)
+//	anonload -backend sim -servers 4 -admit 300:16  # drive a real Node (sim backend)
+//	anonload -backend live -interval 2ms            # drive a real Node (live network)
+//	anonload -ops 200 -trace run.trace              # record the canonical trace
+//	anonload -replay run.trace                      # re-execute and verify a trace
+//
+// The default virtual backend is fully deterministic: the same flags
+// produce a byte-identical trace and report on every machine at any
+// -parallel setting, and `-replay` re-executes a recorded trace and
+// rejects one whose records contradict its own schedule.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"anonconsensus"
+)
+
+func main() {
+	var (
+		backend  = flag.String("backend", "virtual", "virtual (deterministic model), sim or live (drive a real Node)")
+		seed     = flag.Int64("seed", 1, "workload seed (fixes arrivals, class mix and adversary seeds)")
+		ops      = flag.Int("ops", 200, "number of proposals")
+		rate     = flag.Float64("rate", 400, "mean arrival rate, proposals/sec")
+		arrival  = flag.String("arrival", "poisson", "arrival process: poisson, gamma or weibull")
+		shape    = flag.Float64("shape", 2, "gamma/weibull shape parameter")
+		classes  = flag.String("classes", "es:4:3,ess:3:1", "client mix: comma-separated alg:n:weight")
+		gst      = flag.Int("gst", 2, "stabilization round for every class")
+		servers  = flag.Int("servers", 4, "virtual servers / node worker pool size")
+		queue    = flag.Int("queue", 64, "queue depth")
+		admit    = flag.String("admit", "", "admission token bucket, rate:burst (empty = off)")
+		roundDur = flag.Duration("round", 5*time.Millisecond, "virtual cost of one consensus round")
+		interval = flag.Duration("interval", 2*time.Millisecond, "live backend round interval")
+		parallel = flag.Int("parallel", 0, "virtual-plane sim parallelism (0 = GOMAXPROCS)")
+		traceOut = flag.String("trace", "", "write the canonical trace to this file")
+		replayIn = flag.String("replay", "", "replay a recorded trace instead of running")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, options{
+		backend: *backend, seed: *seed, ops: *ops, rate: *rate,
+		arrival: *arrival, shape: *shape, classes: *classes, gst: *gst,
+		servers: *servers, queue: *queue, admit: *admit,
+		round: *roundDur, interval: *interval, parallel: *parallel,
+		traceOut: *traceOut, replayIn: *replayIn,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "anonload:", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed flags (kept as one bag so tests can call run
+// directly).
+type options struct {
+	backend  string
+	seed     int64
+	ops      int
+	rate     float64
+	arrival  string
+	shape    float64
+	classes  string
+	gst      int
+	servers  int
+	queue    int
+	admit    string
+	round    time.Duration
+	interval time.Duration
+	parallel int
+	traceOut string
+	replayIn string
+}
+
+// parseArrival maps the flag token to the public enum.
+func parseArrival(s string) (anonconsensus.ArrivalProcess, error) {
+	switch s {
+	case "poisson":
+		return anonconsensus.PoissonArrivals, nil
+	case "gamma":
+		return anonconsensus.GammaArrivals, nil
+	case "weibull":
+		return anonconsensus.WeibullArrivals, nil
+	default:
+		return 0, fmt.Errorf("unknown arrival process %q (want poisson, gamma or weibull)", s)
+	}
+}
+
+// parseClasses parses the -classes mix: comma-separated alg:n:weight
+// entries, e.g. "es:4:3,ess:3:1". Class names are derived ("c0-es"); the
+// ESS stable source defaults to process 0.
+func parseClasses(s string, gst int) ([]anonconsensus.WorkloadClass, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty -classes")
+	}
+	var out []anonconsensus.WorkloadClass
+	for i, entry := range strings.Split(s, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("class %q: want alg:n:weight", entry)
+		}
+		c := anonconsensus.WorkloadClass{GST: gst}
+		switch parts[0] {
+		case "es":
+			c.Env = anonconsensus.EnvES
+		case "ess":
+			c.Env = anonconsensus.EnvESS
+		default:
+			return nil, fmt.Errorf("class %q: unknown algorithm %q (want es or ess)", entry, parts[0])
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("class %q: bad ensemble size %q", entry, parts[1])
+		}
+		w, err := strconv.Atoi(parts[2])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("class %q: bad weight %q", entry, parts[2])
+		}
+		c.N, c.Weight = n, w
+		c.Name = fmt.Sprintf("c%d-%s", i, parts[0])
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// parseAdmit parses rate:burst ("" = disabled).
+func parseAdmit(s string) (rate float64, burst int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want rate:burst, got %q", s)
+	}
+	rate, err = strconv.ParseFloat(parts[0], 64)
+	if err != nil || rate <= 0 {
+		return 0, 0, fmt.Errorf("bad admission rate %q", parts[0])
+	}
+	burst, err = strconv.Atoi(parts[1])
+	if err != nil || burst < 1 {
+		return 0, 0, fmt.Errorf("bad admission burst %q", parts[1])
+	}
+	return rate, burst, nil
+}
+
+func run(w io.Writer, o options) error {
+	if o.replayIn != "" {
+		data, err := os.ReadFile(o.replayIn)
+		if err != nil {
+			return err
+		}
+		res, err := anonconsensus.ReplayWorkload(string(data))
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", o.replayIn, err)
+		}
+		fmt.Fprintf(w, "replayed %s: trace verifies\n", o.replayIn)
+		return finish(w, res, o.traceOut)
+	}
+
+	arrival, err := parseArrival(o.arrival)
+	if err != nil {
+		return err
+	}
+	classList, err := parseClasses(o.classes, o.gst)
+	if err != nil {
+		return err
+	}
+	admitRate, admitBurst, err := parseAdmit(o.admit)
+	if err != nil {
+		return err
+	}
+	spec := anonconsensus.WorkloadSpec{
+		Seed: o.seed, Ops: o.ops, Rate: o.rate,
+		Arrival: arrival, Shape: o.shape, Classes: classList,
+		Servers: o.servers, QueueDepth: o.queue,
+		AdmitRate: admitRate, AdmitBurst: admitBurst,
+		RoundMicros: o.round.Microseconds(), Parallelism: o.parallel,
+	}
+
+	var res *anonconsensus.WorkloadResult
+	switch o.backend {
+	case "virtual":
+		res, err = anonconsensus.SimulateWorkload(context.Background(), spec)
+	case "sim", "live":
+		var transport anonconsensus.Transport
+		if o.backend == "sim" {
+			transport = anonconsensus.NewSimTransport()
+		} else {
+			transport = anonconsensus.NewLiveTransport()
+		}
+		nodeOpts := []anonconsensus.Option{
+			anonconsensus.WithMaxInFlight(o.servers),
+			anonconsensus.WithQueueDepth(o.queue),
+			anonconsensus.WithInterval(o.interval),
+		}
+		if admitRate > 0 {
+			nodeOpts = append(nodeOpts, anonconsensus.WithAdmission(admitRate, admitBurst))
+		}
+		var node *anonconsensus.Node
+		node, err = anonconsensus.NewNode(transport, nodeOpts...)
+		if err != nil {
+			return err
+		}
+		res, err = anonconsensus.RunWorkload(context.Background(), node, spec)
+		if cerr := node.Close(); err == nil {
+			err = cerr
+		}
+	default:
+		return fmt.Errorf("unknown backend %q (want virtual, sim or live)", o.backend)
+	}
+	if err != nil {
+		return err
+	}
+	return finish(w, res, o.traceOut)
+}
+
+// finish renders the report and optionally records the trace.
+func finish(w io.Writer, res *anonconsensus.WorkloadResult, traceOut string) error {
+	if err := res.WriteReport(w); err != nil {
+		return err
+	}
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, []byte(res.EncodeTrace()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s\n", traceOut)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func baseOptions() options {
+	return options{
+		backend: "virtual", seed: 1, ops: 60, rate: 400,
+		arrival: "poisson", shape: 2, classes: "es:4:3,ess:3:1", gst: 2,
+		servers: 4, queue: 8, admit: "300:16",
+		round: 5 * time.Millisecond, interval: time.Millisecond,
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	cs, err := parseClasses("es:4:3,ess:3:1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].N != 4 || cs[0].Weight != 3 || cs[1].Weight != 1 {
+		t.Fatalf("parsed %+v", cs)
+	}
+	if cs[0].Name == cs[1].Name {
+		t.Fatal("derived class names collide")
+	}
+	for _, bad := range []string{"", "es", "es:4", "es:4:3:9", "maybe:4:3", "es:x:3", "es:0:3", "es:4:0"} {
+		if _, err := parseClasses(bad, 2); err == nil {
+			t.Errorf("parseClasses(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseAdmitAndArrival(t *testing.T) {
+	if rate, burst, err := parseAdmit("300:16"); err != nil || rate != 300 || burst != 16 {
+		t.Errorf("parseAdmit(300:16) = %v, %v, %v", rate, burst, err)
+	}
+	if _, _, err := parseAdmit(""); err != nil {
+		t.Errorf("empty -admit must mean disabled: %v", err)
+	}
+	for _, bad := range []string{"300", "x:1", "1:y", "-1:5", "5:0"} {
+		if _, _, err := parseAdmit(bad); err == nil {
+			t.Errorf("parseAdmit(%q) accepted", bad)
+		}
+	}
+	for _, bad := range []string{"", "normal", "pois"} {
+		if _, err := parseArrival(bad); err == nil {
+			t.Errorf("parseArrival(%q) accepted", bad)
+		}
+	}
+}
+
+// TestVirtualRunDeterministicAndReplayable is the CLI's load-smoke in
+// miniature: two identical virtual runs print identical reports and write
+// identical traces, and -replay verifies the recorded trace.
+func TestVirtualRunDeterministicAndReplayable(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(trace string, parallel int) string {
+		o := baseOptions()
+		o.traceOut = trace
+		o.parallel = parallel
+		var buf bytes.Buffer
+		if err := run(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	t1, t2 := filepath.Join(dir, "a.trace"), filepath.Join(dir, "b.trace")
+	out1 := runOnce(t1, 1)
+	out2 := runOnce(t2, 4)
+	if strings.ReplaceAll(out1, t1, "X") != strings.ReplaceAll(out2, t2, "X") {
+		t.Fatalf("identical specs printed different reports:\n%s\nvs\n%s", out1, out2)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, options{replayIn: t1}); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "trace verifies") {
+		t.Fatalf("replay output: %s", buf.String())
+	}
+}
+
+func TestNodeBackendRun(t *testing.T) {
+	o := baseOptions()
+	o.backend = "sim"
+	o.ops = 30
+	o.rate = 3000
+	o.admit = ""
+	var buf bytes.Buffer
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mode=live") {
+		t.Fatalf("node-backed run must report live mode:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	o := baseOptions()
+	o.backend = "warp"
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	o = baseOptions()
+	o.arrival = "uniform"
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("unknown arrival accepted")
+	}
+	o = baseOptions()
+	o.ops = 0
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("zero ops accepted")
+	}
+	if err := run(&bytes.Buffer{}, options{replayIn: "/nonexistent/trace"}); err == nil {
+		t.Error("missing replay file accepted")
+	}
+}

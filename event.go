@@ -11,7 +11,11 @@ const (
 	// EventDecision carries one process's decision for the instance; one
 	// event per process that decided.
 	EventDecision
-	// EventInstanceDone closes an instance: Result (or Err) is final.
+	// EventInstanceDone closes an instance: Result (or Err) is final. An
+	// instance that failed before its run started (enqueue aborted, node
+	// closed while it was queued, cancelled before pickup) emits only this
+	// event — there is no preceding EventInstanceStarted for work that
+	// never reached the transport.
 	EventInstanceDone
 )
 

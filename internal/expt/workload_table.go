@@ -1,0 +1,73 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"anonconsensus/internal/workload"
+)
+
+// runW1: the open-loop workload table — what sustained seeded traffic
+// feels like at the service plane, the axis the closed per-instance grids
+// (T1–T11) never touch. Each row is one full workload run on the
+// deterministic virtual plane: a two-class mix (a weight-3 ES bulk class
+// and a weight-1 ESS interactive class) pushed through 8 virtual servers
+// with a bounded backlog, at an arrival rate below, near and above the
+// plane's capacity, for each arrival process. Reported per row: served
+// and shed fractions, throughput over the makespan, p50/p95/p99 decision
+// latency, and Jain's fairness index over weight-normalized completions.
+//
+// The whole table is a pure function of the seeds: every workload run
+// fans its instances over the shared batch runner, so the table is
+// byte-identical at any parallelism — pinned, like the other tables, by
+// the parallelism test.
+func runW1(w io.Writer, quick bool) error {
+	ops := 400
+	if quick {
+		ops = 80
+	}
+	classes := []workload.Class{
+		{Name: "es-bulk", Weight: 3, Alg: workload.ES, N: 4, GST: 2},
+		{Name: "ess-interactive", Weight: 1, Alg: workload.ESS, N: 3, GST: 2, StableSource: 0},
+	}
+	// 8 servers at ~5 rounds × 5ms per instance serve roughly 300
+	// proposals/sec; the rate grid brackets that capacity.
+	rates := []float64{150, 300, 600}
+	kinds := []workload.ArrivalKind{workload.Poisson, workload.Gamma, workload.Weibull}
+	if quick {
+		rates = []float64{150, 600}
+		kinds = []workload.ArrivalKind{workload.Poisson, workload.Weibull}
+	}
+
+	tbl := newTable("arrival", "rate/s", "ops", "ok", "shed%", "thr/s", "p50ms", "p95ms", "p99ms", "fairness")
+	for _, kind := range kinds {
+		for _, rate := range rates {
+			spec := workload.Spec{
+				Seed:    1,
+				Ops:     ops,
+				Rate:    rate,
+				Arrival: kind,
+				Shape:   0.7, // bursty: tails differ visibly across processes
+				Classes: classes,
+				Servers: 8, QueueDepth: 16,
+				AdmitRate: 500, AdmitBurst: 32,
+				Parallelism: parallelism(),
+			}
+			res, err := workload.Run(context.Background(), spec)
+			if err != nil {
+				return fmt.Errorf("W1 %s @%v: %w", kind, rate, err)
+			}
+			rep := res.Report()
+			tot := rep.Total
+			shedPct := 100 * float64(tot.ShedAdmission+tot.ShedQueue) / float64(tot.Ops)
+			tbl.add(kind.String(), fmt.Sprintf("%.0f", rate), tot.Ops, tot.Done,
+				fmt.Sprintf("%.1f", shedPct), fmt.Sprintf("%.1f", tot.Throughput),
+				fmt.Sprintf("%.2f", float64(tot.P50US)/1000),
+				fmt.Sprintf("%.2f", float64(tot.P95US)/1000),
+				fmt.Sprintf("%.2f", float64(tot.P99US)/1000),
+				fmt.Sprintf("%.3f", rep.Fairness))
+		}
+	}
+	return tbl.write(w)
+}

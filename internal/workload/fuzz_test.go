@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzWorkloadTrace pins the canonical-form contract: any text ParseTrace
+// accepts must re-encode byte-identically and survive a second parse.
+func FuzzWorkloadTrace(f *testing.F) {
+	res, err := Run(context.Background(), Spec{
+		Seed: 3, Ops: 12, Rate: 300, Arrival: Gamma, Shape: 0.7,
+		Classes: []Class{
+			{Name: "a", Weight: 2, Alg: ES, N: 3, GST: 1},
+			{Name: "b", Weight: 1, Alg: ESS, N: 3, GST: 1, StableSource: 2},
+		},
+		Servers: 2, QueueDepth: 2, AdmitRate: 250, AdmitBurst: 3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(res.EncodeTrace())
+	live := LiveResult(res.Spec, []Record{
+		{Arrival: Arrival{TimeUS: 10, Class: 0, Seed: 5}, Outcome: OK, WaitUS: 1, SvcUS: 9, LatUS: 10, Rounds: 2, DecidedProcs: 3, Agreed: true},
+		{Arrival: Arrival{TimeUS: 20, Class: 1, Seed: 6}, Outcome: Errored},
+	})
+	live.Spec.Ops = 2
+	f.Add(live.EncodeTrace())
+	f.Add("workload v1 mode=virtual seed=0 ops=0\n")
+	f.Add("class name=a weight=1 alg=es n=3\nop t=0\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		res, err := ParseTrace(text)
+		if err != nil {
+			return
+		}
+		enc := res.EncodeTrace()
+		if enc != text {
+			t.Fatalf("accepted trace is not canonical:\n%q\nre-encodes to\n%q", text, enc)
+		}
+		again, err := ParseTrace(enc)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if again.EncodeTrace() != enc {
+			t.Fatal("Encode/Parse is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,387 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"anonconsensus/internal/env"
+)
+
+// The canonical trace form, like env.Scenario's and explore.Trace's text
+// forms, is a fixed point of Encode/Parse: Encode(Parse(Encode(r))) ==
+// Encode(r), pinned by tests and fuzzed by FuzzWorkloadTrace. It records
+// the normalized spec (minus Parallelism, which never reaches output), one
+// line per class, and one line per proposal in arrival order:
+//
+//	workload v1 mode=virtual seed=1 ops=2 rate=200 arrival=poisson shape=2 servers=1 queue=64 admit=0:0 round_us=5000
+//	class name=bulk weight=3 alg=es n=4 gst=2 source=0 maxrounds=0 scenario=-
+//	op t=4093 class=0 seed=-4962768 outcome=ok wait=0 svc=25000 lat=25000 rounds=5 decided=4 agreed=1
+//
+// Floats use strconv's shortest round-tripping form; a class scenario is
+// env.Scenario's canonical encoding ("-" when absent).
+
+// EncodeTrace renders the result in the canonical trace form.
+func (r *Result) EncodeTrace() string {
+	var b strings.Builder
+	s := &r.Spec
+	fmt.Fprintf(&b, "workload v1 mode=%s seed=%d ops=%d rate=%s arrival=%s shape=%s servers=%d queue=%d admit=%s:%d round_us=%d\n",
+		r.Mode, s.Seed, s.Ops, ftoa(s.Rate), s.Arrival, ftoa(s.Shape),
+		s.Servers, s.QueueDepth, ftoa(s.AdmitRate), s.AdmitBurst, s.RoundUS)
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		sc := "-"
+		if !c.Scenario.Empty() {
+			sc = c.Scenario.Encode()
+		}
+		fmt.Fprintf(&b, "class name=%s weight=%d alg=%s n=%d gst=%d source=%d maxrounds=%d scenario=%s\n",
+			c.Name, c.Weight, c.Alg, c.N, c.GST, c.StableSource, c.MaxRounds, sc)
+	}
+	for i := range r.Records {
+		rec := &r.Records[i]
+		agreed := 0
+		if rec.Agreed {
+			agreed = 1
+		}
+		fmt.Fprintf(&b, "op t=%d class=%d seed=%d outcome=%s wait=%d svc=%d lat=%d rounds=%d decided=%d agreed=%d\n",
+			rec.TimeUS, rec.Class, rec.Seed, rec.Outcome, rec.WaitUS, rec.SvcUS, rec.LatUS,
+			rec.Rounds, rec.DecidedProcs, agreed)
+	}
+	return b.String()
+}
+
+// ftoa renders a float in its shortest exactly-round-tripping form.
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// fields splits one trace line into key=value tokens after the given
+// prefix words, erroring on anything malformed.
+type fieldMap map[string]string
+
+func parseFields(line string, want ...string) (fieldMap, error) {
+	toks := strings.Fields(line)
+	if len(toks) < len(want) {
+		return nil, fmt.Errorf("workload: short trace line %q", line)
+	}
+	for i, w := range want {
+		if toks[i] != w {
+			return nil, fmt.Errorf("workload: trace line %q does not start with %q", line, strings.Join(want, " "))
+		}
+	}
+	out := make(fieldMap, len(toks))
+	for _, tok := range toks[len(want):] {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("workload: trace token %q is not key=value", tok)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("workload: duplicate trace key %q in %q", k, line)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (f fieldMap) str(key string) (string, error) {
+	v, ok := f[key]
+	if !ok {
+		return "", fmt.Errorf("workload: trace field %q missing", key)
+	}
+	return v, nil
+}
+
+func (f fieldMap) int(key string) (int, error) {
+	v, err := f.str(key)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("workload: trace field %s=%q: %w", key, v, err)
+	}
+	return n, nil
+}
+
+func (f fieldMap) int64(key string) (int64, error) {
+	v, err := f.str(key)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("workload: trace field %s=%q: %w", key, v, err)
+	}
+	return n, nil
+}
+
+func (f fieldMap) float(key string) (float64, error) {
+	v, err := f.str(key)
+	if err != nil {
+		return 0, err
+	}
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("workload: trace field %s=%q: %w", key, v, err)
+	}
+	return x, nil
+}
+
+// ParseTrace parses the canonical trace form back into a Result. The
+// embedded spec is validated; op lines must be in non-decreasing time
+// order and match the header's op count. Outcome consistency (do the
+// recorded outcomes follow from the arrivals and service times?) is
+// Replay's job, not the parser's.
+func ParseTrace(text string) (*Result, error) {
+	lines := strings.Split(text, "\n")
+	// Tolerate exactly one trailing newline (the canonical form ends with
+	// one); anything else must be a parseable line.
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	hdr, err := parseFields(lines[0], "workload", "v1")
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var perr error
+	get := func(dst *int64, key string) {
+		if perr == nil {
+			*dst, perr = hdr.int64(key)
+		}
+	}
+	modeStr, err := hdr.str("mode")
+	if err != nil {
+		return nil, err
+	}
+	if res.Mode, err = ParseMode(modeStr); err != nil {
+		return nil, err
+	}
+	s := &res.Spec
+	get(&s.Seed, "seed")
+	get(&s.RoundUS, "round_us")
+	if perr != nil {
+		return nil, perr
+	}
+	if s.Ops, err = hdr.int("ops"); err != nil {
+		return nil, err
+	}
+	if s.Rate, err = hdr.float("rate"); err != nil {
+		return nil, err
+	}
+	if s.Shape, err = hdr.float("shape"); err != nil {
+		return nil, err
+	}
+	if s.Servers, err = hdr.int("servers"); err != nil {
+		return nil, err
+	}
+	if s.QueueDepth, err = hdr.int("queue"); err != nil {
+		return nil, err
+	}
+	arrivalStr, err := hdr.str("arrival")
+	if err != nil {
+		return nil, err
+	}
+	if s.Arrival, err = ParseArrivalKind(arrivalStr); err != nil {
+		return nil, err
+	}
+	admitStr, err := hdr.str("admit")
+	if err != nil {
+		return nil, err
+	}
+	rateStr, burstStr, ok := strings.Cut(admitStr, ":")
+	if !ok {
+		return nil, fmt.Errorf("workload: trace admit %q (want rate:burst)", admitStr)
+	}
+	if s.AdmitRate, err = strconv.ParseFloat(rateStr, 64); err != nil {
+		return nil, fmt.Errorf("workload: trace admit rate %q: %w", rateStr, err)
+	}
+	if s.AdmitBurst, err = strconv.Atoi(burstStr); err != nil {
+		return nil, fmt.Errorf("workload: trace admit burst %q: %w", burstStr, err)
+	}
+
+	i := 1
+	for ; i < len(lines) && strings.HasPrefix(lines[i], "class "); i++ {
+		c, err := parseClassLine(lines[i])
+		if err != nil {
+			return nil, err
+		}
+		s.Classes = append(s.Classes, c)
+	}
+	for ; i < len(lines); i++ {
+		rec, err := parseOpLine(lines[i], len(s.Classes))
+		if err != nil {
+			return nil, err
+		}
+		if n := len(res.Records); n > 0 && rec.TimeUS < res.Records[n-1].TimeUS {
+			return nil, fmt.Errorf("workload: trace op %d arrives at %d, before its predecessor", n, rec.TimeUS)
+		}
+		res.Records = append(res.Records, rec)
+	}
+	if len(res.Records) != s.Ops {
+		return nil, fmt.Errorf("workload: trace has %d op lines, header says ops=%d", len(res.Records), s.Ops)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// The canonical form holds the normalized spec; a spec that normalizes
+	// differently than written would break the Encode/Parse fixed point.
+	if norm := s.normalize(); norm.Shape != s.Shape || norm.Servers != s.Servers ||
+		norm.QueueDepth != s.QueueDepth || norm.RoundUS != s.RoundUS || norm.Arrival != s.Arrival {
+		return nil, fmt.Errorf("workload: trace header is not in normalized form")
+	}
+	return res, nil
+}
+
+// parseClassLine parses one `class ...` trace line.
+func parseClassLine(line string) (Class, error) {
+	f, err := parseFields(line, "class")
+	if err != nil {
+		return Class{}, err
+	}
+	var c Class
+	if c.Name, err = f.str("name"); err != nil {
+		return Class{}, err
+	}
+	if c.Weight, err = f.int("weight"); err != nil {
+		return Class{}, err
+	}
+	algStr, err := f.str("alg")
+	if err != nil {
+		return Class{}, err
+	}
+	if c.Alg, err = ParseAlg(algStr); err != nil {
+		return Class{}, err
+	}
+	if c.N, err = f.int("n"); err != nil {
+		return Class{}, err
+	}
+	if c.GST, err = f.int("gst"); err != nil {
+		return Class{}, err
+	}
+	if c.StableSource, err = f.int("source"); err != nil {
+		return Class{}, err
+	}
+	if c.MaxRounds, err = f.int("maxrounds"); err != nil {
+		return Class{}, err
+	}
+	scStr, err := f.str("scenario")
+	if err != nil {
+		return Class{}, err
+	}
+	if scStr != "-" {
+		sc, err := env.ParseScenario(scStr)
+		if err != nil {
+			return Class{}, fmt.Errorf("workload: class %q scenario: %w", c.Name, err)
+		}
+		if sc.Empty() {
+			return Class{}, fmt.Errorf("workload: class %q scenario %q encodes the empty scenario (want -)", c.Name, scStr)
+		}
+		c.Scenario = sc
+	}
+	return c, nil
+}
+
+// parseOpLine parses one `op ...` trace line.
+func parseOpLine(line string, classes int) (Record, error) {
+	f, err := parseFields(line, "op")
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if rec.TimeUS, err = f.int64("t"); err != nil {
+		return Record{}, err
+	}
+	if rec.TimeUS < 0 {
+		return Record{}, fmt.Errorf("workload: negative op time %d", rec.TimeUS)
+	}
+	if rec.Class, err = f.int("class"); err != nil {
+		return Record{}, err
+	}
+	if rec.Class < 0 || rec.Class >= classes {
+		return Record{}, fmt.Errorf("workload: op class %d outside [0,%d)", rec.Class, classes)
+	}
+	if rec.Seed, err = f.int64("seed"); err != nil {
+		return Record{}, err
+	}
+	outStr, err := f.str("outcome")
+	if err != nil {
+		return Record{}, err
+	}
+	if rec.Outcome, err = ParseOutcome(outStr); err != nil {
+		return Record{}, err
+	}
+	if rec.WaitUS, err = f.int64("wait"); err != nil {
+		return Record{}, err
+	}
+	if rec.SvcUS, err = f.int64("svc"); err != nil {
+		return Record{}, err
+	}
+	if rec.LatUS, err = f.int64("lat"); err != nil {
+		return Record{}, err
+	}
+	if rec.WaitUS < 0 || rec.SvcUS < 0 || rec.LatUS < 0 {
+		return Record{}, fmt.Errorf("workload: negative latency fields in %q", line)
+	}
+	if rec.Rounds, err = f.int("rounds"); err != nil {
+		return Record{}, err
+	}
+	if rec.Rounds < 0 {
+		return Record{}, fmt.Errorf("workload: negative rounds in %q", line)
+	}
+	if rec.DecidedProcs, err = f.int("decided"); err != nil {
+		return Record{}, err
+	}
+	if rec.DecidedProcs < 0 {
+		return Record{}, fmt.Errorf("workload: negative decided count in %q", line)
+	}
+	agreed, err := f.int("agreed")
+	if err != nil {
+		return Record{}, err
+	}
+	switch agreed {
+	case 0:
+	case 1:
+		rec.Agreed = true
+	default:
+		return Record{}, fmt.Errorf("workload: agreed=%d (want 0 or 1) in %q", agreed, line)
+	}
+	return rec, nil
+}
+
+// Replay re-executes a trace deterministically. For a virtual-mode trace
+// it re-runs the admission and queueing model over the recorded arrivals
+// and service times and verifies that every recorded outcome, wait and
+// latency reproduces — a trace whose records contradict its own schedule
+// is rejected. A live-mode trace holds wall-clock measurements, so replay
+// is the identity on its records; recomputing the report from them is
+// still deterministic. Replay(t).EncodeTrace() == t for every trace this
+// package produced.
+func Replay(text string) (*Result, error) {
+	res, err := ParseTrace(text)
+	if err != nil {
+		return nil, err
+	}
+	if res.Mode != Virtual {
+		return res, nil
+	}
+	replayed := &Result{Mode: Virtual, Spec: res.Spec, Records: append([]Record(nil), res.Records...)}
+	for i := range replayed.Records {
+		rec := &replayed.Records[i]
+		rec.Outcome = 0
+		rec.WaitUS, rec.LatUS = 0, 0
+	}
+	applyAdmission(replayed.Spec, replayed.Records)
+	applyQueueing(replayed.Spec, replayed.Records)
+	for i := range replayed.Records {
+		got, want := &replayed.Records[i], &res.Records[i]
+		// A shed proposal records no service plane state; the replayed
+		// model zeroes the same fields, so full struct equality is the
+		// check.
+		if *got != *want {
+			return nil, fmt.Errorf("workload: trace does not replay: op %d recorded %+v, model produces %+v", i, *want, *got)
+		}
+	}
+	return replayed, nil
+}

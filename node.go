@@ -207,13 +207,23 @@ func (n *Node) Propose(ctx context.Context, instanceID string, proposals []Value
 		select {
 		case n.queue <- inst:
 		case <-ctx.Done():
+			// The proposal passed admission (spending a token, when the
+			// bucket is on) but never made it onto the queue: count it as
+			// turned away, so every registered proposal lands in exactly
+			// one of Admitted or Rejected.
 			err := fmt.Errorf("anonconsensus: instance %q: %w", instanceID, ctx.Err())
 			n.finish(inst, nil, err)
 			n.unregister(instanceID, inst)
+			n.statMu.Lock()
+			n.rejected++
+			n.statMu.Unlock()
 			return err
 		case <-n.stop:
 			n.finish(inst, nil, ErrNodeClosed)
 			n.unregister(instanceID, inst)
+			n.statMu.Lock()
+			n.rejected++
+			n.statMu.Unlock()
 			return ErrNodeClosed
 		}
 	}
@@ -327,6 +337,13 @@ func (n *Node) Forget(instanceID string) bool {
 // run completes — the granularity is per instance, not mid-run. One
 // instance's events always appear in that order; with WithMaxInFlight > 1
 // the events of different in-flight instances interleave.
+//
+// An instance that fails before its run starts — its Propose aborted
+// during the enqueue, Close drained it off the queue, or a worker picked
+// it up only to find it already cancelled — emits EventInstanceDone
+// alone, with no prior EventInstanceStarted: Started marks the start of
+// a transport run, so a Done without a Started is precisely "this
+// instance never ran". Consumers must not assume the pair.
 //
 // The feed is lossy by contract: it is best-effort buffered and never
 // blocks consensus work. Without a consumer the oldest undelivered
@@ -498,7 +515,11 @@ const maxBufferedEvents = 1024
 // tell a quiet feed from a lossy one.
 func (n *Node) emit(ev Event) {
 	n.evMu.Lock()
-	if !n.evEnd {
+	if n.evEnd {
+		// The feed already ended (Close raced a late finish): the event
+		// cannot be delivered, and a discarded event is a counted event.
+		n.evDropped++
+	} else {
 		if len(n.evBuf) >= maxBufferedEvents {
 			n.evBuf = n.evBuf[1:]
 			n.evDropped++
@@ -537,21 +558,34 @@ func (n *Node) pump() {
 		ended := n.evEnd
 		n.evMu.Unlock()
 		if ended {
-			// Closing down: deliver only what fits without blocking.
+			// Closing down: deliver only what fits without blocking, and
+			// count what does not fit — every discarded event is counted.
 			select {
 			case n.events <- ev:
 			default:
+				n.countDrop()
 			}
 			continue
 		}
 		select {
 		case n.events <- ev:
 		case <-n.stop:
-			// Node closing: deliver what fits in the buffer, drop the rest.
+			// Node closing: deliver what fits in the buffer, drop (and
+			// count) the rest.
 			select {
 			case n.events <- ev:
 			default:
+				n.countDrop()
 			}
 		}
 	}
+}
+
+// countDrop counts one event the pump had to discard. Drops are tallied
+// under evMu together with emit's overflow drops, so EventsDropped is the
+// single authoritative count of undelivered events.
+func (n *Node) countDrop() {
+	n.evMu.Lock()
+	n.evDropped++
+	n.evMu.Unlock()
 }

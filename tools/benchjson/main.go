@@ -29,6 +29,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -284,6 +285,18 @@ func compareRuns(w io.Writer, oldRun, newRun BenchRun, threshold float64) (regre
 			regressions++
 		}
 		fmt.Fprintf(w, "  %-40s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, verdict)
+		// Custom metrics (b.ReportMetric units such as p99_ms) are shown
+		// for context but never gated: whether up is good depends on the
+		// unit, and only ns/op has a universally safe direction.
+		for _, key := range sortedMetricKeys(nr.Metrics) {
+			ov, ok := or.Metrics[key]
+			if !ok || ov == 0 {
+				continue
+			}
+			nv := nr.Metrics[key]
+			fmt.Fprintf(w, "  %-40s %12.2f → %12.2f %s  %+6.1f%%  (not gated)\n",
+				"", ov, nv, key, (nv-ov)/ov*100)
+		}
 	}
 	for _, or := range oldRun.Results {
 		if !seen[or.Name] {
@@ -292,6 +305,16 @@ func compareRuns(w io.Writer, oldRun, newRun BenchRun, threshold float64) (regre
 		}
 	}
 	return regressions, added, removed
+}
+
+// sortedMetricKeys returns a metric map's keys in stable order.
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // lastRun loads a trajectory file and returns its most recent run.

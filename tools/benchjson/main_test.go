@@ -57,6 +57,42 @@ func TestParseBenchLine(t *testing.T) {
 			t.Errorf("accepted %q", line)
 		}
 	}
+
+	// The workload benchmarks report latency percentiles as custom
+	// metrics; all three must land in Metrics.
+	res, ok = parseBenchLine("BenchmarkWorkloadLive-8   5\t 101234567 ns/op\t 21.50 p50_ms\t 33.10 p95_ms\t 41.00 p99_ms")
+	if !ok {
+		t.Fatal("percentile line not parsed")
+	}
+	for key, want := range map[string]float64{"p50_ms": 21.5, "p95_ms": 33.1, "p99_ms": 41} {
+		if got := res.Metrics[key]; got != want {
+			t.Errorf("Metrics[%s] = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// TestCompareReportsMetricDeltas pins that compare mode surfaces custom
+// metric movement (informational, never gated): a doubled p99 shows in
+// the output but does not fail the gate.
+func TestCompareReportsMetricDeltas(t *testing.T) {
+	var b strings.Builder
+	regressions, _, _ := compareRuns(&b,
+		BenchRun{Results: []BenchResult{{Name: "WorkloadLive", NsPerOp: 100, Metrics: map[string]float64{"p99_ms": 20, "p50_ms": 5}}}},
+		BenchRun{Results: []BenchResult{{Name: "WorkloadLive", NsPerOp: 100, Metrics: map[string]float64{"p99_ms": 40, "p50_ms": 5}}}}, 20)
+	if regressions != 0 {
+		t.Fatal("metric movement must not gate")
+	}
+	out := b.String()
+	if !strings.Contains(out, "p99_ms") || !strings.Contains(out, "+100.0%") {
+		t.Errorf("output missing p99 delta:\n%s", out)
+	}
+	if !strings.Contains(out, "not gated") {
+		t.Errorf("metric lines must be marked not gated:\n%s", out)
+	}
+	// Keys print in stable (sorted) order: p50 before p99.
+	if strings.Index(out, "p50_ms") > strings.Index(out, "p99_ms") {
+		t.Errorf("metric lines not in stable order:\n%s", out)
+	}
 }
 
 func TestCompareDetectsRegression(t *testing.T) {

@@ -38,17 +38,18 @@ import (
 // stay outside; msemu, obstruction and register model inherently
 // concurrent shared-memory objects whose tests embrace real scheduling.
 var deterministic = map[string]bool{
-	"sim":     true,
-	"core":    true,
-	"giraf":   true,
-	"values":  true,
-	"env":     true,
-	"explore": true,
-	"expt":    true,
-	"fd":      true,
-	"weakset": true,
-	"wire":    true,
-	"ordered": true,
+	"sim":      true,
+	"core":     true,
+	"giraf":    true,
+	"values":   true,
+	"env":      true,
+	"explore":  true,
+	"expt":     true,
+	"fd":       true,
+	"weakset":  true,
+	"wire":     true,
+	"ordered":  true,
+	"workload": true,
 }
 
 // liveExempt names the live network planes: real sockets and wall-clock
